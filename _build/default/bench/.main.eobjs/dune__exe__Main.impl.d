@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array List Micro Printf String Sys Tables Unix

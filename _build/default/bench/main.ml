@@ -1,0 +1,44 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index).
+
+   Usage:
+     dune exec bench/main.exe              # all experiments
+     dune exec bench/main.exe table6 fig7  # a subset
+   XPILER_BENCH_SHAPES=8 runs the full 168-case suite (default 2 shapes/op). *)
+
+let experiments =
+  [ ("table2", Tables.table2);
+    ("table3", Tables.table3);
+    ("table5", Tables.table5);
+    ("table6", Tables.table6);
+    ("table7", Tables.table7);
+    ("table8", Tables.table8);
+    ("fig7", Tables.fig7);
+    ("fig8", Tables.fig8);
+    ("space", Tables.space);
+    ("mcts_dse", Tables.mcts_dse);
+    ("ablation", Ablation.run);
+    ("micro", Micro.run) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: [] -> List.map fst experiments
+    | _ :: args -> args
+    | [] -> []
+  in
+  Printf.printf "QiMeng-Xpiler benchmark harness (%d cases per direction; set XPILER_BENCH_SHAPES=8 for the full suite)\n%!"
+    (List.length (Tables.cases ()));
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        let t = Unix.gettimeofday () in
+        f ();
+        Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t)
+      | None ->
+        Printf.printf "unknown experiment %s (available: %s)\n%!" name
+          (String.concat ", " (List.map fst experiments)))
+    requested;
+  Printf.printf "\nTotal: %.1fs\n%!" (Unix.gettimeofday () -. t0)

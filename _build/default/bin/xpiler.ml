@@ -1,0 +1,135 @@
+(* Command-line front-end for the QiMeng-Xpiler transcompiler. *)
+
+open Cmdliner
+open Xpiler_machine
+open Xpiler_ops
+open Xpiler_core
+
+let platform_conv =
+  let parse s =
+    match Platform.id_of_string (String.lowercase_ascii s) with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown platform %s (cuda|bang|hip|vnni|c)" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Platform.id_to_string p))
+
+let op_arg =
+  let doc = "Operator name (see `xpiler list-ops`)." in
+  Arg.(required & opt (some string) None & info [ "op" ] ~docv:"OP" ~doc)
+
+let shape_arg =
+  let doc = "Shape as comma-separated dims, e.g. m=16,n=64,k=32. Default: the operator's first benchmark shape." in
+  Arg.(value & opt (some string) None & info [ "shape" ] ~docv:"SHAPE" ~doc)
+
+let src_arg =
+  let doc = "Source platform (cuda, bang, hip, vnni)." in
+  Arg.(required & opt (some platform_conv) None & info [ "from" ] ~docv:"SRC" ~doc)
+
+let dst_arg =
+  let doc = "Target platform (cuda, bang, hip, vnni)." in
+  Arg.(required & opt (some platform_conv) None & info [ "to" ] ~docv:"DST" ~doc)
+
+let tune_arg =
+  let doc = "Run hierarchical auto-tuning on the accepted translation." in
+  Arg.(value & flag & info [ "tune" ] ~doc)
+
+let seed_arg =
+  let doc = "Seed for the (simulated) neural oracle." in
+  Arg.(value & opt int 20250706 & info [ "seed" ] ~doc)
+
+let parse_shape op = function
+  | None -> List.hd op.Opdef.shapes
+  | Some s ->
+    String.split_on_char ',' s
+    |> List.map (fun kv ->
+           match String.split_on_char '=' kv with
+           | [ k; v ] -> (String.trim k, int_of_string (String.trim v))
+           | _ -> failwith ("bad shape component " ^ kv))
+
+let find_op name =
+  match Registry.find name with
+  | Some op -> op
+  | None ->
+    Printf.eprintf "unknown operator %s; try `xpiler list-ops`\n" name;
+    exit 2
+
+(* ---- translate ------------------------------------------------------------ *)
+
+let translate op_name shape src dst tune seed =
+  let op = find_op op_name in
+  let shape = parse_shape op shape in
+  let config =
+    let base = if tune then Config.tuned else Config.default in
+    Config.with_seed base seed
+  in
+  Printf.printf "// source (%s):\n%s\n" (Platform.id_to_string src)
+    (Idiom.source_text src op shape);
+  let o = Xpiler.transcompile ~config ~src ~dst ~op ~shape () in
+  Printf.printf "// status: %s\n" (Xpiler.status_to_string o.Xpiler.status);
+  Printf.printf "// passes: %s\n"
+    (String.concat " | " (List.map Xpiler_passes.Pass.describe o.Xpiler.specs_applied));
+  Printf.printf "// repairs: %d attempted, %d succeeded\n" o.Xpiler.repairs_attempted
+    o.Xpiler.repairs_succeeded;
+  Printf.printf "// modelled compile time: %.2f h\n"
+    (Xpiler_util.Vclock.elapsed o.Xpiler.clock /. 3600.0);
+  (match o.Xpiler.throughput with
+  | Some t -> Printf.printf "// modelled throughput: %.3g ops/s\n" t
+  | None -> ());
+  match o.Xpiler.target_text with
+  | Some text -> Printf.printf "\n// target (%s):\n%s" (Platform.id_to_string dst) text
+  | None -> ()
+
+let translate_cmd =
+  let info = Cmd.info "translate" ~doc:"Transcompile an operator between platforms." in
+  Cmd.v info Term.(const translate $ op_arg $ shape_arg $ src_arg $ dst_arg $ tune_arg $ seed_arg)
+
+(* ---- show-source ----------------------------------------------------------- *)
+
+let show_source op_name shape platform =
+  let op = find_op op_name in
+  let shape = parse_shape op shape in
+  print_string (Idiom.source_text platform op shape)
+
+let show_source_cmd =
+  let info = Cmd.info "show-source" ~doc:"Print an operator's idiomatic source program." in
+  let platform_pos =
+    Arg.(required & pos 0 (some platform_conv) None & info [] ~docv:"PLATFORM")
+  in
+  Cmd.v info Term.(const show_source $ op_arg $ shape_arg $ platform_pos)
+
+(* ---- list-ops --------------------------------------------------------------- *)
+
+let list_ops () =
+  List.iter
+    (fun (op : Opdef.t) ->
+      Printf.printf "%-22s %-12s shapes: %s\n" op.name (Opdef.class_name op.cls)
+        (String.concat " | "
+           (List.map
+              (fun sh -> String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) sh))
+              (List.filteri (fun i _ -> i < 2) op.shapes))))
+    Registry.all;
+  Printf.printf "(%d operators, %d benchmark cases)\n" (List.length Registry.all)
+    (List.length (Registry.cases ()))
+
+let list_ops_cmd =
+  let info = Cmd.info "list-ops" ~doc:"List the benchmark operators." in
+  Cmd.v info Term.(const list_ops $ const ())
+
+(* ---- manual ------------------------------------------------------------------ *)
+
+let manual platform query =
+  List.iter
+    (fun (e : Xpiler_manual.Corpus.entry) -> Printf.printf "%-40s %s\n" e.id e.body)
+    (Xpiler_manual.Corpus.search platform query 5)
+
+let manual_cmd =
+  let info = Cmd.info "manual" ~doc:"Search a platform's programming manual (BM25)." in
+  let platform_pos =
+    Arg.(required & pos 0 (some platform_conv) None & info [] ~docv:"PLATFORM")
+  in
+  let query_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY") in
+  Cmd.v info Term.(const manual $ platform_pos $ query_pos)
+
+let () =
+  let info = Cmd.info "xpiler" ~version:"1.0.0" ~doc:"Neural-symbolic tensor-program transcompiler." in
+  exit (Cmd.eval (Cmd.group info [ translate_cmd; show_source_cmd; list_ops_cmd; manual_cmd ]))

@@ -1,0 +1,1 @@
+examples/autotune_demo.ml: Float List Opdef Platform Printf Registry String Unit_test Xpiler_lang Xpiler_machine Xpiler_ops Xpiler_passes Xpiler_tuning

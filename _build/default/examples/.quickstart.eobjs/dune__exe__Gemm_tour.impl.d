@@ -1,0 +1,1 @@
+examples/gemm_tour.ml: Config Idiom List Platform Printf Registry String Xpiler Xpiler_baselines Xpiler_core Xpiler_machine Xpiler_ops

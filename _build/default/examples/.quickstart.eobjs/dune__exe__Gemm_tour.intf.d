@@ -1,0 +1,1 @@
+examples/gemm_tour.mli:

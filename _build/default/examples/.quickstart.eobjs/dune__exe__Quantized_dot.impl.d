@@ -1,0 +1,1 @@
+examples/quantized_dot.ml: Codegen Dialect Dtype Interp Parser Platform Printf Tensor Xpiler_ir Xpiler_lang Xpiler_machine Xpiler_passes Xpiler_util

@@ -1,0 +1,1 @@
+examples/quantized_dot.mli:

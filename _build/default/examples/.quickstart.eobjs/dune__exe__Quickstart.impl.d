@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Platform Printf Registry String Xpiler Xpiler_core Xpiler_ir Xpiler_lang Xpiler_machine Xpiler_ops Xpiler_passes

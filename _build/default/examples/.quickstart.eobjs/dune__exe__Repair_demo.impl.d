@@ -1,0 +1,1 @@
+examples/repair_demo.ml: Expr Idiom Intrin Kernel List Localize Platform Printf Registry Repairer Stmt String Unit_test Xpiler_ir Xpiler_lang Xpiler_machine Xpiler_ops Xpiler_repair

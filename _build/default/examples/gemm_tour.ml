@@ -1,0 +1,40 @@
+(* A tour of one GEMM across all four deep learning systems: idiomatic
+   sources, automatic translation from CUDA to each target, and modelled
+   performance against the vendor library.
+
+   Run with: dune exec examples/gemm_tour.exe *)
+
+open Xpiler_machine
+open Xpiler_ops
+open Xpiler_core
+
+let () =
+  let op = Registry.find_exn "gemm" in
+  let shape = [ ("m", 32); ("n", 64); ("k", 32) ] in
+  Printf.printf "GEMM %s\n\n"
+    (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) shape));
+
+  (* the idiomatic implementation on each platform *)
+  List.iter
+    (fun pid ->
+      Printf.printf "=== idiomatic %s ===\n%s\n" (Platform.of_id pid).Platform.interface
+        (Idiom.source_text pid op shape))
+    [ Platform.Vnni; Platform.Cuda; Platform.Bang ];
+
+  (* translate the CUDA version to every other platform *)
+  print_endline "=== automatic translation from CUDA C ===";
+  List.iter
+    (fun dst ->
+      let o =
+        Xpiler.transcompile ~config:Config.tuned ~src:Platform.Cuda ~dst ~op ~shape ()
+      in
+      let vendor_ratio =
+        match (o.Xpiler.status, o.Xpiler.kernel) with
+        | Xpiler.Success, Some k -> Xpiler_baselines.Vendor.speedup_of_translated dst op shape k
+        | _ -> 0.0
+      in
+      Printf.printf "  -> %-5s: %-40s vs vendor: %.2fx\n"
+        (Platform.id_to_string dst)
+        (Xpiler.status_to_string o.Xpiler.status)
+        vendor_ratio)
+    [ Platform.Bang; Platform.Hip; Platform.Vnni ]

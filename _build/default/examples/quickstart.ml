@@ -1,0 +1,41 @@
+(* Quickstart: translate a CUDA C kernel you wrote by hand to BANG C.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Xpiler_machine
+open Xpiler_ops
+open Xpiler_core
+
+(* A CUDA kernel as you would write it: a ReLU over 1024 elements. The
+   #launch pragma records the grid (our miniature of <<<grid, block>>>). *)
+let my_cuda_kernel =
+  {|#launch blockIdx.x=4 threadIdx.x=256
+__global__ void relu(float* inp, float* out) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  out[i] = max(inp[i], 0.0f);
+}|}
+
+let () =
+  print_endline "--- source (CUDA C) ---";
+  print_endline my_cuda_kernel;
+
+  (* parse it to check it round-trips through the front-end *)
+  let kernel = Xpiler_lang.Parser.parse Xpiler_lang.Dialect.cuda my_cuda_kernel in
+  Printf.printf "\nparsed kernel `%s` with %d-way parallelism\n" kernel.Xpiler_ir.Kernel.name
+    (Xpiler_ir.Kernel.total_parallelism kernel);
+
+  (* translate: the transcompiler validates every pass against the operator's
+     unit tests, so we tell it which operator (and shape) this kernel is *)
+  let op = Registry.find_exn "relu" in
+  let shape = [ ("n", 1024) ] in
+  let outcome =
+    Xpiler.transcompile ~src:Platform.Cuda ~dst:Platform.Bang ~op ~shape ()
+  in
+  Printf.printf "\ntranslation: %s\n" (Xpiler.status_to_string outcome.Xpiler.status);
+  Printf.printf "passes applied: %s\n\n"
+    (String.concat " | "
+       (List.map Xpiler_passes.Pass.describe outcome.Xpiler.specs_applied));
+  print_endline "--- target (BANG C) ---";
+  match outcome.Xpiler.target_text with
+  | Some text -> print_endline text
+  | None -> print_endline "(no output)"

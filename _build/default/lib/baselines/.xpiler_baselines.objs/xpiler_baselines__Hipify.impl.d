@@ -1,0 +1,1 @@
+lib/baselines/hipify.ml: Checker Idiom Intrin Kernel List Platform Scope Stmt Unit_test Xpiler_ir Xpiler_lang Xpiler_machine Xpiler_ops

@@ -1,0 +1,1 @@
+lib/baselines/hipify.mli: Kernel Opdef Xpiler_ir Xpiler_ops

@@ -1,0 +1,1 @@
+lib/baselines/llm_baseline.ml: Checker Fault Hashtbl List Llm Opdef Platform Profile Unit_test Xpiler_machine Xpiler_neural Xpiler_ops

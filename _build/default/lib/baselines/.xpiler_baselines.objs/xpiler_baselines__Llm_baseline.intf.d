@@ -1,0 +1,1 @@
+lib/baselines/llm_baseline.mli: Opdef Platform Xpiler_machine Xpiler_neural Xpiler_ops

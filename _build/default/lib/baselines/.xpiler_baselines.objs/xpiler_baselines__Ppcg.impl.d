@@ -1,0 +1,1 @@
+lib/baselines/ppcg.ml: Axis Checker Expr Hashtbl Kernel Linear List Opdef Platform Printf Result Stmt String Unit_test Xpiler_ir Xpiler_machine Xpiler_ops Xpiler_passes

@@ -1,0 +1,1 @@
+lib/baselines/ppcg.mli: Kernel Opdef Result Xpiler_ir Xpiler_ops

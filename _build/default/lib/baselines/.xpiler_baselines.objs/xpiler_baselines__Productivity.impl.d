@@ -1,0 +1,1 @@
+lib/baselines/productivity.ml: Costmodel Float Idiom List Opdef Platform Registry Xpiler_core Xpiler_ir Xpiler_lang Xpiler_machine Xpiler_ops Xpiler_passes Xpiler_util

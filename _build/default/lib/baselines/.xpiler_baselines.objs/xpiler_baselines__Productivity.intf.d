@@ -1,0 +1,1 @@
+lib/baselines/productivity.mli: Platform Xpiler_core Xpiler_machine

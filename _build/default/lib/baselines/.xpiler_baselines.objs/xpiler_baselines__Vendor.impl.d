@@ -1,0 +1,1 @@
+lib/baselines/vendor.ml: Costmodel Float Hashtbl Idiom List Opdef Platform Printf String Xpiler_machine Xpiler_ops Xpiler_tuning

@@ -1,0 +1,1 @@
+lib/baselines/vendor.mli: Opdef Platform Xpiler_ir Xpiler_machine Xpiler_ops

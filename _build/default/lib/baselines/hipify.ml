@@ -1,0 +1,41 @@
+open Xpiler_ir
+open Xpiler_machine
+open Xpiler_ops
+
+type result = {
+  hip_text : string;
+  kernel : Kernel.t option;
+  compiles : bool;
+  computes : bool;
+}
+
+let supported (k : Kernel.t) =
+  let uses_fragment =
+    List.exists (fun (_, s, _, _) -> Scope.equal s Scope.Fragment) (Stmt.allocs k.Kernel.body)
+  in
+  let uses_mma =
+    List.exists
+      (fun (i : Intrin.t) -> Intrin.equal_op i.op Intrin.Mma)
+      (Stmt.intrinsics k.Kernel.body)
+  in
+  not (uses_fragment || uses_mma)
+
+let translate op shape =
+  let cuda_text = Idiom.source_text Platform.Cuda op shape in
+  let k = Xpiler_lang.Parser.parse Xpiler_lang.Dialect.cuda cuda_text in
+  if not (supported k) then
+    (* no mapping rule: the wmma constructs pass through verbatim and the
+       HIP toolchain rejects them *)
+    { hip_text = cuda_text; kernel = None; compiles = false; computes = false }
+  else begin
+    let hip_text = Xpiler_lang.Codegen.emit Xpiler_lang.Dialect.hip k in
+    match Xpiler_lang.Parser.parse Xpiler_lang.Dialect.hip hip_text with
+    | hip_kernel ->
+      let compiles = Checker.compile Platform.hip hip_kernel = Ok () in
+      let computes =
+        compiles && Unit_test.check ~trials:2 op shape hip_kernel = Unit_test.Pass
+      in
+      { hip_text; kernel = Some hip_kernel; compiles; computes }
+    | exception Xpiler_lang.Parser.Parse_error _ ->
+      { hip_text; kernel = None; compiles = false; computes = false }
+  end

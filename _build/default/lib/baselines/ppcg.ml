@@ -1,0 +1,126 @@
+open Xpiler_ir
+open Xpiler_machine
+open Xpiler_ops
+module Pass = Xpiler_passes.Pass
+
+type result = {
+  accepted : bool;
+  reason : string option;
+  kernel : Kernel.t option;
+  compiles : bool;
+  computes : bool;
+}
+
+exception Bail of string
+
+(* is every index/bound affine in the enclosing loop variables? *)
+let check_affine loops e =
+  let d = Linear.decompose e in
+  List.iter
+    (fun (atom, _) ->
+      match atom with
+      | Expr.Var v when List.mem v loops -> ()
+      | atom ->
+        if List.exists (fun v -> Expr.contains_var v atom) loops then
+          raise (Bail (Printf.sprintf "non-affine access %s" (Expr.to_string atom))))
+    d.Linear.terms
+
+(* the reduction idiom SCoP detection recognizes:
+   let acc = init; <loop nest assigning only acc>; store .. acc *)
+let rec is_reduction_body body =
+  match body with
+  | [ Stmt.Let { var; _ }; Stmt.For nest; Stmt.Store { value; _ } ] ->
+    let only_assigns_var = ref true in
+    Stmt.iter
+      (fun s ->
+        match s with
+        | Stmt.Assign { var = v; _ } when String.equal v var -> ()
+        | Stmt.Assign _ | Stmt.Let _ | Stmt.Store _ -> only_assigns_var := false
+        | _ -> ())
+      [ Stmt.For nest ];
+    !only_assigns_var && Expr.contains_var var value
+  | [ Stmt.For { body = inner_body; _ } ] -> is_reduction_body inner_body
+  | _ -> false
+
+let scop_compatible (k : Kernel.t) =
+  let tainted = Hashtbl.create 8 in
+  let expr_tainted e =
+    Expr.buffers_read e <> [] || List.exists (Hashtbl.mem tainted) (Expr.free_vars e)
+  in
+  try
+    let rec walk loops block =
+      (* cross-statement scalar flow: a Let followed by more than the single
+         reduction idiom defeats SCoP extraction *)
+      let lets = List.filter (function Stmt.Let _ -> true | _ -> false) block in
+      if List.length lets > 1 then raise (Bail "scalar temporaries across statements");
+      if List.length lets = 1 && not (is_reduction_body block) then
+        raise (Bail "scalar dependence is not a recognized reduction");
+      List.iter
+        (fun s ->
+          match s with
+          | Stmt.Let { var; value } | Stmt.Assign { var; value } ->
+            if expr_tainted value then Hashtbl.replace tainted var ();
+            Expr.fold
+              (fun () e ->
+                match e with Expr.Load (_, i) -> check_affine loops i | _ -> ())
+              () value
+          | Stmt.Store { index; value; _ } ->
+            check_affine loops index;
+            Expr.fold
+              (fun () e ->
+                match e with Expr.Load (_, i) -> check_affine loops i | _ -> ())
+              () value
+          | Stmt.For r -> (
+            (match r.extent with
+            | Expr.Int _ -> ()
+            | e -> check_affine loops e);
+            walk (r.var :: loops) r.body)
+          | Stmt.If r ->
+            if expr_tainted r.cond then raise (Bail "data-dependent control flow");
+            check_affine loops r.cond;
+            walk loops r.then_;
+            walk loops r.else_
+          | Stmt.Alloc _ -> ()
+          | Stmt.Intrinsic _ -> raise (Bail "intrinsic call in the input")
+          | Stmt.Memcpy _ -> raise (Bail "library call in the input")
+          | Stmt.Sync -> raise (Bail "barrier in sequential input")
+          | Stmt.Annot _ -> ())
+        block
+    in
+    walk [] k.Kernel.body;
+    Ok ()
+  with Bail reason -> Error reason
+
+let bind_outer_loops (k : Kernel.t) =
+  (* PPCG's schedule: outermost parallel loop -> blocks, next -> threads *)
+  let rec chain body =
+    match body with
+    | [ Stmt.For ({ kind = Stmt.Serial; lo = Expr.Int 0; extent = Expr.Int _; _ } as r) ] ->
+      r.var :: chain r.body
+    | _ -> []
+  in
+  match chain k.Kernel.body with
+  | [] -> Error "no parallelizable outer loop"
+  | [ outer ] -> Xpiler_passes.Loop_pass.bind ~var:outer ~axis:Axis.Block_x k
+  | outer :: inner :: _ ->
+    Result.bind
+      (Xpiler_passes.Loop_pass.bind ~var:outer ~axis:Axis.Block_x k)
+      (fun k ->
+        match Xpiler_passes.Loop_pass.bind ~var:inner ~axis:Axis.Thread_x k with
+        | Ok k -> Ok k
+        | Error _ -> Ok k)
+
+let translate op shape =
+  let serial = op.Opdef.serial shape in
+  match scop_compatible serial with
+  | Error reason ->
+    { accepted = false; reason = Some reason; kernel = None; compiles = false; computes = false }
+  | Ok () -> (
+    match bind_outer_loops serial with
+    | Error reason ->
+      { accepted = false; reason = Some reason; kernel = None; compiles = false;
+        computes = false }
+    | Ok k ->
+      let compiles = Checker.compile Platform.cuda k = Ok () in
+      let computes = compiles && Unit_test.check ~trials:2 op shape k = Unit_test.Pass in
+      { accepted = true; reason = None; kernel = Some k; compiles; computes })

@@ -1,0 +1,36 @@
+open Xpiler_machine
+
+(** The productivity study (paper Table 8, DESIGN.md substitution #5).
+
+    The paper's human-subject study is modelled analytically: manual
+    development time comes from the target program's size and a per-line
+    effort coefficient (much higher on an unfamiliar DSA, and ~5x higher for
+    a junior coder); QiMeng-Xpiler's time is the measured virtual compile
+    time plus a fixed manual debugging cost when the translation fails its
+    unit tests (0.5 h senior / 3 h junior — the paper's numbers). Junior
+    manual performance is the throughput of the naive (bind-only) kernel;
+    all performance is normalized to the senior manual (expert idiom)
+    kernel. *)
+
+type coder = Senior | Junior
+
+type entry = {
+  coder : coder;
+  manual_hours : float;
+  manual_perf : float;  (** vs. senior manual = 1.0 *)
+  xpiler_hours : float;  (** compile + debug-on-failure *)
+  xpiler_perf : float;
+  xpiler_correct : bool;  (** did the automatic translation pass its tests *)
+  time_saving : float;  (** manual_hours / xpiler_hours *)
+}
+
+val coder_name : coder -> string
+
+val study :
+  ?config:Xpiler_core.Config.t ->
+  src:Platform.id ->
+  dst:Platform.id ->
+  unit ->
+  entry list
+(** Runs the Deformable Attention case through the transcompiler and builds
+    the two coder rows. *)

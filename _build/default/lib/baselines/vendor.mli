@@ -1,0 +1,22 @@
+open Xpiler_machine
+open Xpiler_ops
+
+(** Vendor-library performance model (DESIGN.md substitution #4).
+
+    cuDNN/cuBLAS, CNNL, rocBLAS and oneDNN are modelled as the
+    expert-written idiomatic kernel's cost scaled by a class-specific
+    *vendor advantage*: mature kernels (large matmul, standard convolution)
+    beat a hand-written expert kernel; long-tail LLM operators (deformable
+    attention, RMSNorm, …) often ship unoptimized, which is where the paper
+    reports QiMeng-Xpiler winning by up to 2x. *)
+
+val advantage : Opdef.t -> float
+(** Vendor speedup (>1) or handicap (<1) vs. the expert kernel. *)
+
+val seconds : Platform.id -> Opdef.t -> Opdef.shape -> float
+(** Modelled vendor execution time for the operator on the platform. *)
+
+val speedup_of_translated :
+  Platform.id -> Opdef.t -> Opdef.shape -> Xpiler_ir.Kernel.t -> float
+(** vendor_time / translated_time — the Figure 7 metric (1.0 = parity,
+    >1 = the translated program beats the vendor library). *)

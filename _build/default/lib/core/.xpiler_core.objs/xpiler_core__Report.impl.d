@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Filename List Option Printf String Sys

@@ -1,0 +1,1 @@
+lib/core/xpiler.mli: Config Kernel Opdef Platform Xpiler_ir Xpiler_machine Xpiler_neural Xpiler_ops Xpiler_passes Xpiler_util

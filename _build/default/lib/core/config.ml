@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  seed : int;
+  annotate : bool;
+  use_smt : bool;
+  self_debugging : bool;
+  tune : bool;
+  mcts : Xpiler_tuning.Mcts.config;
+  unit_test_trials : int;
+}
+
+let default =
+  { name = "qimeng-xpiler";
+    seed = 20250706;
+    annotate = true;
+    use_smt = true;
+    self_debugging = false;
+    tune = false;
+    mcts = { Xpiler_tuning.Mcts.default_config with simulations = 48; max_depth = 6 };
+    unit_test_trials = 2
+  }
+
+let without_smt = { default with name = "qimeng-xpiler-wo-smt"; use_smt = false }
+
+let without_smt_self_debug =
+  { default with name = "qimeng-xpiler-wo-smt+self-debug"; use_smt = false; self_debugging = true }
+
+let tuned = { default with name = "qimeng-xpiler-tuned"; tune = true }
+
+let with_seed t seed = { t with seed }

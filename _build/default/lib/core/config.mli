@@ -1,0 +1,29 @@
+(** Transcompiler configurations, including the paper's ablations. *)
+
+type t = {
+  name : string;
+  seed : int;
+  annotate : bool;  (** program annotation (Algorithm 1) *)
+  use_smt : bool;  (** SMT-based code repairing (Algorithm 3) *)
+  self_debugging : bool;  (** retry a failed pass through the LLM once *)
+  tune : bool;  (** hierarchical auto-tuning for performance *)
+  mcts : Xpiler_tuning.Mcts.config;
+  unit_test_trials : int;
+}
+
+val default : t
+(** Full QiMeng-Xpiler (annotation + SMT repair), tuning off — the accuracy
+    experiments' setting. *)
+
+val without_smt : t
+(** "QiMeng-Xpiler w/o SMT" ablation. *)
+
+val without_smt_self_debug : t
+(** "QiMeng-Xpiler w/o SMT + Self-Debugging" ablation. *)
+
+val tuned : t
+(** Full system with hierarchical auto-tuning (the performance experiments'
+    setting); MCTS budget reduced from the paper's 512 simulations to keep
+    simulated runs fast — the knob is exposed. *)
+
+val with_seed : t -> int -> t

@@ -1,0 +1,78 @@
+type cell =
+  | Pct of float
+  | Ratio of float
+  | Num of float
+  | Count of int
+  | Text of string
+  | Pair of float * float
+
+type t = {
+  title : string;
+  col_headers : string list;
+  rows : (string * cell list) list;
+}
+
+let make ~title ~cols rows = { title; col_headers = cols; rows }
+
+let cell_to_string = function
+  | Pct p -> Printf.sprintf "%.1f" p
+  | Ratio r -> Printf.sprintf "%.2fx" r
+  | Num f -> Printf.sprintf "%.3g" f
+  | Count n -> string_of_int n
+  | Text s -> s
+  | Pair (a, b) -> Printf.sprintf "%.1f / %.1f" a b
+
+let render t =
+  let all_rows =
+    ("", List.map (fun h -> h) t.col_headers)
+    :: List.map (fun (label, cells) -> (label, List.map cell_to_string cells)) t.rows
+  in
+  let ncols = List.fold_left (fun m (_, cs) -> max m (List.length cs)) 0 all_rows in
+  let width i =
+    List.fold_left
+      (fun m (label, cs) ->
+        let s = if i = -1 then label else Option.value ~default:"" (List.nth_opt cs i) in
+        max m (String.length s))
+      0 all_rows
+  in
+  let label_w = width (-1) in
+  let col_ws = List.init ncols width in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "=== %s ===\n" t.title);
+  List.iter
+    (fun (label, cs) ->
+      Buffer.add_string buf (Printf.sprintf "%-*s" label_w label);
+      List.iteri
+        (fun i s ->
+          Buffer.add_string buf
+            (Printf.sprintf " | %*s" (List.nth col_ws i) s))
+        cs;
+      Buffer.add_char buf '\n')
+    all_rows;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," ("" :: List.map csv_escape t.col_headers));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, cells) ->
+      Buffer.add_string buf
+        (String.concat ","
+           (csv_escape label :: List.map (fun c -> csv_escape (cell_to_string c)) cells));
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let save_csv ?(dir = "results") ~name t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc;
+  path

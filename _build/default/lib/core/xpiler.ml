@@ -1,0 +1,303 @@
+open Xpiler_ir
+open Xpiler_machine
+open Xpiler_ops
+open Xpiler_neural
+module Pass = Xpiler_passes.Pass
+module Vclock = Xpiler_util.Vclock
+module Rng = Xpiler_util.Rng
+
+type status = Success | Compile_error of string | Computation_error of string
+
+type outcome = {
+  status : status;
+  kernel : Kernel.t option;
+  target_text : string option;
+  specs_applied : Pass.spec list;
+  faults_seen : Fault.injected list;
+  residual_faults : Fault.injected list;
+  repairs_attempted : int;
+  repairs_succeeded : int;
+  clock : Vclock.t;
+  throughput : float option;
+}
+
+let status_to_string = function
+  | Success -> "success"
+  | Compile_error m -> "compile error: " ^ m
+  | Computation_error m -> "computation error: " ^ m
+
+let strip_annots (k : Kernel.t) =
+  let rec go block =
+    List.concat_map
+      (fun s ->
+        match s with
+        | Stmt.Annot _ -> []
+        | Stmt.For r -> [ Stmt.For { r with body = go r.body } ]
+        | Stmt.If r -> [ Stmt.If { r with then_ = go r.then_; else_ = go r.else_ } ]
+        | s -> [ s ])
+      block
+  in
+  Kernel.with_body k (go k.Kernel.body)
+
+(* program size and data-dependent control flow inflate LLM fault rates —
+   the paper's explanation for the Deformable Attention failure case *)
+let complexity_multiplier (k : Kernel.t) =
+  let stmts = Stmt.count_stmts k.Kernel.body in
+  let tainted = Hashtbl.create 8 in
+  let expr_tainted e =
+    Expr.buffers_read e <> [] || List.exists (Hashtbl.mem tainted) (Expr.free_vars e)
+  in
+  let dyn_ifs = ref 0 in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Let { var; value } | Stmt.Assign { var; value } ->
+        if expr_tainted value then Hashtbl.replace tainted var ()
+      | Stmt.If r -> if expr_tainted r.cond then incr dyn_ifs
+      | _ -> ())
+    k.Kernel.body;
+  let size = Float.max 0.8 (Float.min 3.0 (sqrt (float_of_int stmts /. 12.0))) in
+  let control = 1.0 +. (1.0 *. Float.min 4.0 (float_of_int !dyn_ifs)) in
+  size *. control
+
+type state = {
+  mutable kernel : Kernel.t;
+  mutable specs : Pass.spec list;
+  mutable faults_seen : Fault.injected list;
+  mutable active_faults : Fault.injected list;
+  mutable repairs_attempted : int;
+  mutable repairs_succeeded : int;
+}
+
+type pass_result = Applied | Inapplicable of string | Broken
+
+let case_seed (config : Config.t) src dst (op : Opdef.t) shape =
+  Hashtbl.hash
+    ( config.Config.seed,
+      Platform.id_to_string src,
+      Platform.id_to_string dst,
+      op.Opdef.name,
+      shape )
+
+let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
+  let clock = Vclock.create () in
+  let llm = Llm.create ~seed:(case_seed config src dst op shape) ~clock () in
+  let retry_rng = Rng.create (case_seed config src dst op shape + 17) in
+  let target = Platform.of_id dst in
+  let src_kernel = Idiom.source src op shape in
+  (* program annotation (Algorithm 1): one LLM pass + BM25 retrieval *)
+  let annotated_kernel =
+    if config.Config.annotate then begin
+      Vclock.charge clock Vclock.Annotation
+        (150.0 +. (5.0 *. float_of_int (Stmt.count_stmts src_kernel.Kernel.body)));
+      Annotate.annotate ~target:dst src_kernel
+    end
+    else src_kernel
+  in
+  let base_profile =
+    Profile.pass_level ~annotated:config.Config.annotate
+    |> (fun p -> Profile.scale p (sqrt (Profile.direction_difficulty ~src ~dst)))
+    |> fun p -> Profile.scale p (complexity_multiplier src_kernel)
+  in
+  let st =
+    { kernel = strip_annots annotated_kernel;
+      specs = [];
+      faults_seen = [];
+      active_faults = [];
+      repairs_attempted = 0;
+      repairs_succeeded = 0
+    }
+  in
+  let compile_ok k = Checker.compile target k = Ok () in
+  let unit_ok k =
+    Vclock.charge clock Vclock.Unit_test 45.0;
+    Unit_test.check ~trials:config.Config.unit_test_trials op shape k = Unit_test.Pass
+  in
+  (* per-pass validation is the unit test (the paper's flow); platform
+     compilation is checked once on the final program, since intermediate
+     states legitimately mix source and target features *)
+  let valid k = unit_ok k in
+  (* one LLM-assisted pass with validation and symbolic repair *)
+  let run_pass spec =
+    let prompt = Meta_prompt.build ~target:dst spec st.kernel in
+    match Llm.apply_pass llm ~profile:base_profile ~target ~prompt spec st.kernel with
+    | Error m -> Inapplicable m
+    | Ok (k', faults) ->
+      st.faults_seen <- st.faults_seen @ faults;
+      st.active_faults <- st.active_faults @ faults;
+      if valid k' then begin
+        st.kernel <- k';
+        st.specs <- st.specs @ [ spec ];
+        st.active_faults <- [];
+        Applied
+      end
+      else if config.Config.use_smt then begin
+        st.repairs_attempted <- st.repairs_attempted + 1;
+        match Xpiler_repair.Repairer.repair ~clock ~platform:target ~op ~shape k' with
+        | Xpiler_repair.Repairer.Repaired { kernel; _ } ->
+          st.repairs_succeeded <- st.repairs_succeeded + 1;
+          st.kernel <- kernel;
+          st.specs <- st.specs @ [ spec ];
+          st.active_faults <- [];
+          Applied
+        | Xpiler_repair.Repairer.Gave_up _ ->
+          st.kernel <- k';
+          st.specs <- st.specs @ [ spec ];
+          Broken
+      end
+      else if config.Config.self_debugging then begin
+        (* Self-Debugging resamples the LLM, but its errors are largely
+           systematic: most retries reproduce the same faulty output *)
+        if Rng.bernoulli retry_rng 0.85 then begin
+          st.kernel <- k';
+          st.specs <- st.specs @ [ spec ];
+          Broken
+        end
+        else begin
+          match Llm.apply_pass llm ~profile:base_profile ~target ~prompt spec st.kernel with
+          | Error m -> Inapplicable m
+          | Ok (k'', faults') ->
+            st.faults_seen <- st.faults_seen @ faults';
+            if valid k'' then begin
+              st.kernel <- k'';
+              st.specs <- st.specs @ [ spec ];
+              st.active_faults <- [];
+              Applied
+            end
+            else begin
+              st.active_faults <- st.active_faults @ faults';
+              st.kernel <- k'';
+              st.specs <- st.specs @ [ spec ];
+              Broken
+            end
+        end
+      end
+      else begin
+        st.kernel <- k';
+        st.specs <- st.specs @ [ spec ];
+        Broken
+      end
+  in
+  (* phase 1: sequentialize when the source is parallel *)
+  let recovery_ok =
+    if Stmt.axes_used st.kernel.Kernel.body <> [] then run_pass Pass.Loop_recovery
+    else Applied
+  in
+  let finish () =
+    let k = st.kernel in
+    let status =
+      if not (compile_ok k) then
+        Compile_error
+          (match Checker.compile target k with
+          | Error (e :: _) -> Checker.error_to_string e
+          | _ -> "unknown")
+      else if not (unit_ok k) then
+        Computation_error
+          (match Unit_test.check ~trials:1 op shape k with
+          | Unit_test.Fail m -> m
+          | Unit_test.Pass -> "flaky")
+      else Success
+    in
+    (* hierarchical auto-tuning on accepted translations *)
+    let k, throughput =
+      if status = Success && config.Config.tune then begin
+        let buffer_sizes =
+          List.map (fun (b : Opdef.buffer_spec) -> (b.buf_name, b.size shape)) op.Opdef.buffers
+        in
+        let result =
+          Xpiler_tuning.Mcts.search ~config:config.Config.mcts ~clock ~buffer_sizes
+            ~platform:target k
+        in
+        let tuned = result.Xpiler_tuning.Mcts.best_kernel in
+        if unit_ok tuned then (tuned, Some result.Xpiler_tuning.Mcts.best_reward)
+        else (k, Some (Costmodel.throughput target k ~shapes:[]))
+      end
+      else if status = Success then (k, Some (Costmodel.throughput target k ~shapes:[]))
+      else (k, None)
+    in
+    { status;
+      kernel = Some k;
+      target_text = Some (Xpiler_lang.Codegen.emit (Xpiler_lang.Dialect.of_platform dst) k);
+      specs_applied = st.specs;
+      faults_seen = st.faults_seen;
+      residual_faults = st.active_faults;
+      repairs_attempted = st.repairs_attempted;
+      repairs_succeeded = st.repairs_succeeded;
+      clock;
+      throughput
+    }
+  in
+  match recovery_ok with
+  | Broken | Inapplicable _ -> finish ()
+  | Applied -> (
+    (* phase 1.5: canonicalize split elementwise loops back into flat loops *)
+    let rec normalize () =
+      match st.kernel.Kernel.body with
+      | [ Stmt.For { var; kind = Stmt.Serial;
+                     body = [ Stmt.For { kind = Stmt.Serial; body = [ Stmt.Store _ ]; _ } ]; _ } ]
+        -> (
+        match run_pass (Pass.Loop_fuse { var }) with
+        | Applied -> normalize ()
+        | Inapplicable _ | Broken -> ())
+      | _ -> ()
+    in
+    normalize ();
+    (* phase 1.75: strip source-platform specialization the target lacks —
+       restore loops from foreign intrinsics, move foreign memory spaces to
+       plain local storage *)
+    let despecialize () =
+      (* source intrinsics are restored to loops even when the target has an
+         equivalent: operand staging differs per platform, so the target
+         pipeline re-tensorizes from scratch *)
+      let detens =
+        if Stmt.intrinsics st.kernel.Kernel.body <> [] then [ Pass.Detensorize ] else []
+      in
+      let rec run = function
+        | [] -> Applied
+        | spec :: rest -> (
+          match run_pass spec with
+          | Applied -> run rest
+          | (Inapplicable _ | Broken) as r -> r)
+      in
+      match run detens with
+      | (Inapplicable _ | Broken) as r -> r
+      | Applied ->
+        (* drop source-side staging (the target pipeline re-stages), falling
+           back to a local-scratch rescope for genuine temporaries *)
+        let fixes =
+          Stmt.allocs st.kernel.Kernel.body
+          |> List.filter_map (fun (buf, scope, _, _) ->
+                 if Scope.is_on_chip scope || not (List.mem scope target.Platform.scopes)
+                 then
+                   Some
+                     (match Xpiler_passes.Memory_pass.decache ~buf st.kernel with
+                     | Ok _ -> Pass.Decache { buf }
+                     | Error _ -> Pass.Rescope { buf; scope = Scope.Local })
+                 else None)
+        in
+        run fixes
+    in
+    if despecialize () <> Applied then finish ()
+    else if st.active_faults <> [] then finish ()
+    else begin
+      (* phase 2: retarget via the candidate pass pipelines *)
+      let base = st.kernel and base_specs = st.specs in
+      let pipelines = Idiom.pipelines_for dst op shape st.kernel in
+      let rec try_pipelines = function
+        | [] -> finish ()
+        | pipeline :: rest -> (
+          st.kernel <- base;
+          st.specs <- base_specs;
+          st.active_faults <- [];
+          let rec run = function
+            | [] -> finish ()
+            | spec :: specs -> (
+              match run_pass spec with
+              | Applied -> run specs
+              | Inapplicable _ -> try_pipelines rest
+              | Broken -> finish ())
+          in
+          run pipeline)
+      in
+      try_pipelines pipelines
+    end)

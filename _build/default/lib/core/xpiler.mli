@@ -1,0 +1,46 @@
+open Xpiler_ir
+open Xpiler_machine
+open Xpiler_ops
+
+(** QiMeng-Xpiler: the neural-symbolic transcompiler (the paper's primary
+    contribution, Figure 3).
+
+    Translation is a chain of LLM-assisted transformation passes. Each pass:
+    meta-prompt construction (with program annotation when enabled) -> LLM
+    transformation -> unit-test validation -> bug localization and SMT-based
+    code repairing on failure. Pass sequences come from the per-operator
+    retargeting pipelines; a hierarchical auto-tuner (intra-pass brute force
+    + inter-pass MCTS) optionally optimizes the accepted translation. *)
+
+type status =
+  | Success
+  | Compile_error of string
+  | Computation_error of string
+
+type outcome = {
+  status : status;
+  kernel : Kernel.t option;  (** the final translated kernel *)
+  target_text : string option;  (** rendered in the target dialect *)
+  specs_applied : Xpiler_passes.Pass.spec list;
+  faults_seen : Xpiler_neural.Fault.injected list;  (** everything the oracle injected *)
+  residual_faults : Xpiler_neural.Fault.injected list;  (** faults alive in the result *)
+  repairs_attempted : int;
+  repairs_succeeded : int;
+  clock : Xpiler_util.Vclock.t;  (** modelled compile-time breakdown (Figure 8) *)
+  throughput : float option;  (** modelled, when translation succeeded *)
+}
+
+val status_to_string : status -> string
+
+val transcompile :
+  ?config:Config.t ->
+  src:Platform.id ->
+  dst:Platform.id ->
+  op:Opdef.t ->
+  shape:Opdef.shape ->
+  unit ->
+  outcome
+
+val complexity_multiplier : Kernel.t -> float
+(** Fault-rate multiplier from program size and data-dependent control flow
+    (why Deformable Attention is the failure case, §7.6). *)

@@ -1,0 +1,1 @@
+lib/ir/axis.ml: Stdlib

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Dtype Expr Intrin Kernel List Stmt

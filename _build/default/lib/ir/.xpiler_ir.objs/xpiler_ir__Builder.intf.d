@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Axis Dtype Expr Intrin Kernel Scope Stmt

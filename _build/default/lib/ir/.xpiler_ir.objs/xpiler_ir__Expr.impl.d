@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Dtype Float Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/ir/intrin.ml: Expr List Printf String

@@ -1,0 +1,1 @@
+lib/ir/intrin.mli: Expr

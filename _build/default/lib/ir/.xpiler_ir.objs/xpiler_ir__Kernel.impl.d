@@ -1,0 +1,1 @@
+lib/ir/kernel.ml: Axis Dtype List Printf Stmt String

@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Axis Buffer Dtype Expr Intrin List Printf Scope String

@@ -1,0 +1,1 @@
+lib/ir/stmt.mli: Axis Dtype Expr Intrin Scope

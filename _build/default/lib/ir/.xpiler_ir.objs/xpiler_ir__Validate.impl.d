@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Axis Expr Intrin Kernel List Printf Stmt String

@@ -1,0 +1,101 @@
+type error = { where : string; message : string }
+
+let error_to_string e = Printf.sprintf "%s: %s" e.where e.message
+let errors_to_string es = String.concat "\n" (List.map error_to_string es)
+
+type env = { vars : string list; bufs : string list }
+
+let check kernel =
+  let errors = ref [] in
+  let err where message = errors := { where; message } :: !errors in
+  let check_expr env where e =
+    List.iter
+      (fun v -> if not (List.mem v env.vars) then err where ("unbound variable " ^ v))
+      (Expr.free_vars e);
+    List.iter
+      (fun b -> if not (List.mem b env.bufs) then err where ("unbound buffer " ^ b))
+      (Expr.buffers_read e)
+  in
+  let check_buf env where b =
+    if not (List.mem b env.bufs) then err where ("unbound buffer " ^ b)
+  in
+  let launch_axes = List.map fst kernel.Kernel.launch in
+  let rec check_block env block =
+    ignore
+      (List.fold_left
+         (fun env stmt ->
+           match stmt with
+           | Stmt.For r ->
+             let where = "for " ^ r.var in
+             check_expr env where r.lo;
+             check_expr env where r.extent;
+             (match r.kind with
+             | Stmt.Parallel ax when not (List.mem ax launch_axes) ->
+               err where
+                 (Printf.sprintf "parallel axis %s not in launch configuration"
+                    (Axis.to_string ax))
+             | _ -> ());
+             check_block { env with vars = r.var :: env.vars } r.body;
+             env
+           | Stmt.Let r ->
+             check_expr env ("let " ^ r.var) r.value;
+             { env with vars = r.var :: env.vars }
+           | Stmt.Assign r ->
+             let where = "assign " ^ r.var in
+             if not (List.mem r.var env.vars) then err where ("unbound variable " ^ r.var);
+             check_expr env where r.value;
+             env
+           | Stmt.Store r ->
+             let where = "store " ^ r.buf in
+             check_buf env where r.buf;
+             check_expr env where r.index;
+             check_expr env where r.value;
+             env
+           | Stmt.Alloc r ->
+             if r.size <= 0 then err ("alloc " ^ r.buf) "non-positive size";
+             if List.mem r.buf env.bufs then
+               err ("alloc " ^ r.buf) "buffer name shadows an existing buffer";
+             { env with bufs = r.buf :: env.bufs }
+           | Stmt.If r ->
+             check_expr env "if" r.cond;
+             check_block env r.then_;
+             check_block env r.else_;
+             env
+           | Stmt.Memcpy r ->
+             check_buf env "memcpy" r.dst.buf;
+             check_buf env "memcpy" r.src.buf;
+             check_expr env "memcpy" r.dst.offset;
+             check_expr env "memcpy" r.src.offset;
+             check_expr env "memcpy" r.len;
+             env
+           | Stmt.Intrinsic i ->
+             let where = "intrinsic " ^ Intrin.op_name i.op in
+             check_buf env where i.dst.buf;
+             check_expr env where i.dst.offset;
+             List.iter
+               (fun (r : Intrin.buf_ref) ->
+                 check_buf env where r.buf;
+                 check_expr env where r.offset)
+               i.srcs;
+             List.iter (check_expr env where) i.params;
+             if List.length i.srcs <> Intrin.arity i.op then
+               err where
+                 (Printf.sprintf "expected %d source buffers, got %d" (Intrin.arity i.op)
+                    (List.length i.srcs));
+             if List.length i.params <> Intrin.param_count i.op then
+               err where
+                 (Printf.sprintf "expected %d parameters, got %d" (Intrin.param_count i.op)
+                    (List.length i.params));
+             env
+           | Stmt.Sync | Stmt.Annot _ -> env)
+         env block)
+  in
+  let env0 =
+    { vars = List.map (fun (p : Kernel.param) -> p.name) (Kernel.scalar_params kernel);
+      bufs = List.map (fun (p : Kernel.param) -> p.name) (Kernel.buffer_params kernel)
+    }
+  in
+  (* launch axes are readable as variables through their binding loops only;
+     the parallel loop introduces the name, so nothing to add here. *)
+  check_block env0 kernel.Kernel.body;
+  match List.rev !errors with [] -> Ok () | es -> Error es

@@ -1,0 +1,13 @@
+(** Platform-independent well-formedness checks for kernels.
+
+    These are the structural checks any compiler front-end performs: every
+    variable and buffer is bound before use, loop variables do not shadow
+    parameters, intrinsic arities match, parallel axes in the body appear in
+    the launch configuration. Platform-specific legality (which scopes and
+    intrinsics exist) lives in [Xpiler_machine.Checker]. *)
+
+type error = { where : string; message : string }
+
+val check : Kernel.t -> (unit, error list) result
+val error_to_string : error -> string
+val errors_to_string : error list -> string

@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Axis Buffer Dialect Dtype Expr Intrin Kernel List Platform Printf Scope Stmt String Xpiler_ir Xpiler_machine

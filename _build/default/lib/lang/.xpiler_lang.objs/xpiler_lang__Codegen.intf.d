@@ -1,0 +1,1 @@
+lib/lang/codegen.mli: Dialect Kernel Xpiler_ir Xpiler_machine

@@ -1,0 +1,1 @@
+lib/lang/dialect.ml: Axis Dtype Intrin List Option Platform Scope Xpiler_ir Xpiler_machine

@@ -1,0 +1,1 @@
+lib/lang/dialect.mli: Axis Dtype Intrin Platform Scope Xpiler_ir Xpiler_machine

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Axis Dialect Dtype Expr Intrin Kernel Lexer List Printf Scope Stmt String Token Xpiler_ir

@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Dialect Kernel Xpiler_ir Xpiler_machine

@@ -1,0 +1,156 @@
+open Xpiler_ir
+open Xpiler_machine
+
+type signature =
+  | Vec2 of Intrin.op
+  | Vec1 of Intrin.op
+  | Vec_scalar of Intrin.op
+  | Fill
+  | Reduce of Intrin.op
+  | Matmul of Intrin.op
+  | Conv
+  | Dp4a_sig
+  | Memcpy_dir
+  | Memcpy_plain
+  | Copy_elems
+  | Frag_load
+  | Frag_store
+  | Sync_call
+
+type t = {
+  platform : Platform.id;
+  kernel_qualifier : string;
+  scope_qualifiers : (string * Scope.t) list;
+  axis_idents : (string * Axis.t) list;
+  dim_idents : (string * Axis.t) list;
+  intrinsics : (string * signature) list;
+  type_names : (string * Dtype.t) list;
+}
+
+let common_types =
+  [ ("float", Dtype.F32); ("half", Dtype.F16); ("int", Dtype.I32); ("int32_t", Dtype.I32);
+    ("int8_t", Dtype.I8); ("char", Dtype.I8); ("bool", Dtype.Bool) ]
+
+let cuda =
+  { platform = Platform.Cuda;
+    kernel_qualifier = "__global__";
+    scope_qualifiers = [ ("__shared__", Scope.Shared); ("__fragment__", Scope.Fragment) ];
+    axis_idents =
+      [ ("blockIdx.x", Axis.Block_x); ("blockIdx.y", Axis.Block_y); ("blockIdx.z", Axis.Block_z);
+        ("threadIdx.x", Axis.Thread_x); ("threadIdx.y", Axis.Thread_y);
+        ("threadIdx.z", Axis.Thread_z) ];
+    dim_idents =
+      [ ("blockDim.x", Axis.Thread_x); ("blockDim.y", Axis.Thread_y);
+        ("blockDim.z", Axis.Thread_z); ("gridDim.x", Axis.Block_x); ("gridDim.y", Axis.Block_y);
+        ("gridDim.z", Axis.Block_z) ];
+    intrinsics =
+      [ ("wmma::mma_sync", Matmul Intrin.Mma); ("wmma::load_matrix_sync", Frag_load);
+        ("wmma::store_matrix_sync", Frag_store); ("__dp4a", Dp4a_sig);
+        ("__syncthreads", Sync_call); ("__copy", Copy_elems) ];
+    type_names = common_types
+  }
+
+let hip =
+  { platform = Platform.Hip;
+    kernel_qualifier = "__global__";
+    scope_qualifiers = [ ("__shared__", Scope.Shared); ("__fragment__", Scope.Fragment) ];
+    axis_idents =
+      [ ("hipBlockIdx_x", Axis.Block_x); ("hipBlockIdx_y", Axis.Block_y);
+        ("hipBlockIdx_z", Axis.Block_z); ("hipThreadIdx_x", Axis.Thread_x);
+        ("hipThreadIdx_y", Axis.Thread_y); ("hipThreadIdx_z", Axis.Thread_z) ];
+    dim_idents =
+      [ ("hipBlockDim_x", Axis.Thread_x); ("hipBlockDim_y", Axis.Thread_y);
+        ("hipBlockDim_z", Axis.Thread_z); ("hipGridDim_x", Axis.Block_x);
+        ("hipGridDim_y", Axis.Block_y); ("hipGridDim_z", Axis.Block_z) ];
+    intrinsics =
+      [ ("__builtin_amdgcn_mfma_f32_16x16x4f32", Matmul Intrin.Mma);
+        ("__hip_load_matrix", Frag_load); ("__hip_store_matrix", Frag_store);
+        ("__builtin_amdgcn_sdot4", Dp4a_sig); ("__syncthreads", Sync_call);
+        ("__copy", Copy_elems) ];
+    type_names = common_types
+  }
+
+let bang =
+  { platform = Platform.Bang;
+    kernel_qualifier = "__mlu_global__";
+    scope_qualifiers =
+      [ ("__nram__", Scope.Nram); ("__wram__", Scope.Wram); ("__mlu_shared__", Scope.Shared) ];
+    axis_idents =
+      [ ("taskId", Axis.Task_id); ("clusterId", Axis.Cluster_id); ("coreId", Axis.Core_id) ];
+    dim_idents = [ ("taskDim", Axis.Task_id); ("coreDim", Axis.Core_id) ];
+    intrinsics =
+      [ ("__bang_add", Vec2 Intrin.Vec_add); ("__bang_sub", Vec2 Intrin.Vec_sub);
+        ("__bang_mul", Vec2 Intrin.Vec_mul); ("__bang_maximum", Vec2 Intrin.Vec_max);
+        ("__bang_minimum", Vec2 Intrin.Vec_min); ("__bang_active_exp", Vec1 Intrin.Vec_exp);
+        ("__bang_active_log", Vec1 Intrin.Vec_log);
+        ("__bang_active_sqrt", Vec1 Intrin.Vec_sqrt);
+        ("__bang_active_recip", Vec1 Intrin.Vec_recip);
+        ("__bang_active_tanh", Vec1 Intrin.Vec_tanh);
+        ("__bang_active_erf", Vec1 Intrin.Vec_erf);
+        ("__bang_active_relu", Vec1 Intrin.Vec_relu);
+        ("__bang_active_sigmoid", Vec1 Intrin.Vec_sigmoid);
+        ("__bang_active_gelu", Vec1 Intrin.Vec_gelu);
+        ("__bang_active_sign", Vec1 Intrin.Vec_sign);
+        ("__bang_mul_scalar", Vec_scalar Intrin.Vec_scale);
+        ("__bang_add_scalar", Vec_scalar Intrin.Vec_adds); ("__bang_write_value", Fill);
+        ("__bang_move", Vec1 Intrin.Vec_copy); ("__bang_reduce_sum", Reduce Intrin.Vec_reduce_sum);
+        ("__bang_reduce_max", Reduce Intrin.Vec_reduce_max); ("__bang_mlp", Matmul Intrin.Mlp);
+        ("__bang_conv", Conv); ("__memcpy", Memcpy_dir); ("__sync_cluster", Sync_call) ];
+    type_names = common_types
+  }
+
+let vnni =
+  { platform = Platform.Vnni;
+    kernel_qualifier = "";
+    scope_qualifiers = [];
+    axis_idents = [];
+    dim_idents = [];
+    intrinsics =
+      [ ("_mm512_dpbusd_epi32", Dp4a_sig); ("_mm512_add_ps", Vec2 Intrin.Vec_add);
+        ("_mm512_sub_ps", Vec2 Intrin.Vec_sub); ("_mm512_mul_ps", Vec2 Intrin.Vec_mul);
+        ("_mm512_max_ps", Vec2 Intrin.Vec_max); ("_mm512_min_ps", Vec2 Intrin.Vec_min);
+        ("_mm512_set1_ps", Fill); ("_mm512_loadu_ps", Vec1 Intrin.Vec_copy);
+        ("_mm512_reduce_add_ps", Reduce Intrin.Vec_reduce_sum);
+        ("_mm512_reduce_max_ps", Reduce Intrin.Vec_reduce_max); ("memcpy", Memcpy_plain) ];
+    type_names = common_types
+  }
+
+let of_platform = function
+  | Platform.Cuda -> cuda
+  | Platform.Bang -> bang
+  | Platform.Hip -> hip
+  | Platform.Vnni -> vnni
+
+let axis_var = Axis.to_string
+
+let surface_axis t ax =
+  match List.find_opt (fun (_, a) -> Axis.equal a ax) t.axis_idents with
+  | Some (name, _) -> name
+  | None -> Axis.to_string ax
+
+let find_intrinsic t name = List.assoc_opt name t.intrinsics
+
+let spelling_of_op t op =
+  let matches = function
+    | Vec2 o | Vec1 o | Vec_scalar o | Reduce o | Matmul o -> Intrin.equal_op o op
+    | Fill -> Intrin.equal_op Intrin.Vec_fill op
+    | Conv -> Intrin.equal_op Intrin.Conv2d op
+    | Dp4a_sig -> Intrin.equal_op Intrin.Dp4a op
+    | Memcpy_dir | Memcpy_plain | Copy_elems | Frag_load | Frag_store | Sync_call -> false
+  in
+  List.find_opt (fun (_, s) -> matches s) t.intrinsics |> Option.map fst
+
+let scope_qualifier t scope =
+  List.find_opt (fun (_, s) -> Scope.equal s scope) t.scope_qualifiers |> Option.map fst
+
+let memcpy_direction ~src ~dst =
+  let tag = function
+    | Scope.Global -> "GDRAM"
+    | Scope.Nram -> "NRAM"
+    | Scope.Wram -> "WRAM"
+    | Scope.Shared -> "SRAM"
+    | Scope.Local -> "LDRAM"
+    | Scope.Host -> "HOST"
+    | Scope.Fragment -> "FRAG"
+  in
+  tag src ^ "2" ^ tag dst

@@ -1,0 +1,63 @@
+open Xpiler_machine
+open Xpiler_ir
+
+(** Surface-syntax descriptors of the four dialects.
+
+    A dialect maps between the unified IR and platform-specific source text:
+    kernel/scope qualifiers, parallel built-in spellings, barrier calls, and
+    the signature template of every intrinsic. The parser and the code
+    generator share these tables, so surface syntax lives in exactly one
+    place.
+
+    The dialects are faithful miniatures of the real interfaces; two
+    documented simplifications: (1) tensor-core fragments are declared as
+    [__fragment__] arrays and moved with [wmma::load_matrix_sync]/
+    [store_matrix_sync] carrying an explicit element count, and (2) array
+    forms of per-register intrinsics ([__dp4a], [_mm512_*]) take a pointer +
+    length, standing for the loop of register ops a real backend emits. *)
+
+(** Argument signature of a surface intrinsic. *)
+type signature =
+  | Vec2 of Intrin.op  (** (dst, a, b, len) *)
+  | Vec1 of Intrin.op  (** (dst, a, len) *)
+  | Vec_scalar of Intrin.op  (** (dst, a, scalar, len) *)
+  | Fill  (** (dst, scalar, len) *)
+  | Reduce of Intrin.op  (** (dst, a, len) *)
+  | Matmul of Intrin.op  (** (dst, a, b, m, k, n) *)
+  | Conv  (** (dst, src, w, co, ci, kh, kw, ho, wo, stride) *)
+  | Dp4a_sig  (** (dst, a, b, len) *)
+  | Memcpy_dir  (** (dst, src, byte_count, DIRECTION) *)
+  | Memcpy_plain  (** (dst, src, byte_count) *)
+  | Copy_elems  (** (dst, src, len): cooperative element copy helper *)
+  | Frag_load  (** (frag, src, len) *)
+  | Frag_store  (** (dst, frag, len) *)
+  | Sync_call
+
+type t = {
+  platform : Platform.id;
+  kernel_qualifier : string;
+  scope_qualifiers : (string * Scope.t) list;
+  axis_idents : (string * Axis.t) list;  (** surface spelling -> axis *)
+  dim_idents : (string * Axis.t) list;  (** e.g. blockDim.x -> Thread_x extent *)
+  intrinsics : (string * signature) list;
+  type_names : (string * Dtype.t) list;
+}
+
+val cuda : t
+val bang : t
+val hip : t
+val vnni : t
+val of_platform : Platform.id -> t
+val axis_var : Axis.t -> string
+(** Canonical IR loop-variable name for a parallel axis. *)
+
+val surface_axis : t -> Axis.t -> string
+(** Dialect spelling of an axis builtin (e.g. hipBlockIdx_x). *)
+
+val find_intrinsic : t -> string -> signature option
+val spelling_of_op : t -> Intrin.op -> string option
+(** Surface function that implements a unified op in this dialect. *)
+
+val scope_qualifier : t -> Scope.t -> string option
+val memcpy_direction : src:Scope.t -> dst:Scope.t -> string
+(** BANG-style direction tag, e.g. GDRAM2NRAM. *)

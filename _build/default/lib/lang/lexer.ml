@@ -1,0 +1,215 @@
+exception Lex_error of { line : int; message : string }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Dotted suffixes allowed after an identifier: the SIMT builtins. A dot is
+   only folded into the identifier when it joins one of these families, so
+   ordinary member syntax is not needed anywhere else in the dialects. *)
+let dotted_families = [ "blockIdx"; "threadIdx"; "blockDim"; "gridDim" ]
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let error message = raise (Lex_error { line = !line; message }) in
+  let pos = ref 0 in
+  let peek off = if !pos + off < n then Some src.[!pos + off] else None in
+  let rec skip_ws () =
+    match peek 0 with
+    | Some '\n' ->
+      incr line;
+      incr pos;
+      skip_ws ()
+    | Some (' ' | '\t' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | Some '/' when peek 1 = Some '/' ->
+      while peek 0 <> None && peek 0 <> Some '\n' do
+        incr pos
+      done;
+      skip_ws ()
+    | Some '/' when peek 1 = Some '*' ->
+      pos := !pos + 2;
+      let rec close () =
+        match (peek 0, peek 1) with
+        | Some '*', Some '/' -> pos := !pos + 2
+        | Some '\n', _ ->
+          incr line;
+          incr pos;
+          close ()
+        | Some _, _ ->
+          incr pos;
+          close ()
+        | None, _ -> error "unterminated comment"
+      in
+      close ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let read_while p =
+    let start = !pos in
+    while (match peek 0 with Some c -> p c | None -> false) do
+      incr pos
+    done;
+    String.sub src start (!pos - start)
+  in
+  let read_number () =
+    let intpart = read_while is_digit in
+    let is_float = peek 0 = Some '.' && (match peek 1 with Some c -> is_digit c | None -> false) in
+    if is_float then begin
+      incr pos;
+      let frac = read_while is_digit in
+      let expo =
+        match peek 0 with
+        | Some ('e' | 'E') ->
+          incr pos;
+          let sign =
+            match peek 0 with
+            | Some (('+' | '-') as c) ->
+              incr pos;
+              String.make 1 c
+            | _ -> ""
+          in
+          "e" ^ sign ^ read_while is_digit
+        | _ -> ""
+      in
+      (match peek 0 with Some ('f' | 'F') -> incr pos | _ -> ());
+      emit (Token.Float_lit (float_of_string (intpart ^ "." ^ frac ^ expo)))
+    end
+    else begin
+      (* 1e-05f style without dot *)
+      match peek 0 with
+      | Some ('e' | 'E') when (match peek 1 with Some c -> is_digit c || c = '-' || c = '+' | None -> false) ->
+        incr pos;
+        let sign =
+          match peek 0 with
+          | Some (('+' | '-') as c) ->
+            incr pos;
+            String.make 1 c
+          | _ -> ""
+        in
+        let ex = read_while is_digit in
+        (match peek 0 with Some ('f' | 'F') -> incr pos | _ -> ());
+        emit (Token.Float_lit (float_of_string (intpart ^ "e" ^ sign ^ ex)))
+      | Some ('f' | 'F') ->
+        incr pos;
+        emit (Token.Float_lit (float_of_string intpart))
+      | _ -> emit (Token.Int_lit (int_of_string intpart))
+    end
+  in
+  let read_ident () =
+    let base = read_while is_ident_char in
+    (* namespaced identifier: wmma::mma_sync *)
+    let base =
+      if peek 0 = Some ':' && peek 1 = Some ':' then begin
+        pos := !pos + 2;
+        let rest = read_while is_ident_char in
+        base ^ "::" ^ rest
+      end
+      else base
+    in
+    (* dotted builtin: blockIdx.x *)
+    let base =
+      if List.mem base dotted_families && peek 0 = Some '.' then begin
+        incr pos;
+        let field = read_while is_ident_char in
+        base ^ "." ^ field
+      end
+      else base
+    in
+    emit (Token.Ident base)
+  in
+  let read_pragma () =
+    (* at '#': only #launch is recognized *)
+    incr pos;
+    let word = read_while is_ident_char in
+    if word = "pragma" then begin
+      (match peek 0 with Some (' ' | '\t') -> incr pos | _ -> ());
+      skip_ws ();
+      let kind = read_while is_ident_char in
+      if not (List.mem kind [ "unroll"; "pipeline"; "vectorize" ]) then
+        error ("unknown #pragma " ^ kind)
+      else emit (Token.Kind_pragma kind)
+    end
+    else if word <> "launch" then error ("unknown pragma #" ^ word)
+    else begin
+      let pairs = ref [] in
+      let rec loop () =
+        (match peek 0 with
+        | Some (' ' | '\t') ->
+          incr pos;
+          loop ()
+        | Some c when is_ident_start c ->
+          let name =
+            let b = read_while is_ident_char in
+            if peek 0 = Some '.' then begin
+              incr pos;
+              b ^ "." ^ read_while is_ident_char
+            end
+            else b
+          in
+          (match peek 0 with
+          | Some '=' ->
+            incr pos;
+            let num = read_while is_digit in
+            if num = "" then error "expected extent after '=' in #launch";
+            pairs := (name, int_of_string num) :: !pairs;
+            loop ()
+          | _ -> error "expected '=' in #launch")
+        | _ -> ())
+      in
+      loop ();
+      emit (Token.Launch_pragma (List.rev !pairs))
+    end
+  in
+  let puncts3 = [ "<<<"; ">>>" ] in
+  let puncts2 = [ "+="; "-="; "*="; "/="; "=="; "!="; "<="; ">="; "&&"; "||"; "++"; "--"; "->" ] in
+  let rec loop () =
+    skip_ws ();
+    match peek 0 with
+    | None -> ()
+    | Some '#' ->
+      read_pragma ();
+      loop ()
+    | Some c when is_digit c ->
+      read_number ();
+      loop ()
+    | Some c when is_ident_start c ->
+      read_ident ();
+      loop ()
+    | Some c ->
+      let try3 =
+        if !pos + 3 <= n then
+          let s = String.sub src !pos 3 in
+          if List.mem s puncts3 then Some s else None
+        else None
+      in
+      (match try3 with
+      | Some s ->
+        pos := !pos + 3;
+        emit (Token.Punct s)
+      | None ->
+        let try2 =
+          if !pos + 2 <= n then
+            let s = String.sub src !pos 2 in
+            if List.mem s puncts2 then Some s else None
+          else None
+        in
+        (match try2 with
+        | Some s ->
+          pos := !pos + 2;
+          emit (Token.Punct s)
+        | None ->
+          if String.contains "+-*/%<>=!&|?:;,.()[]{}" c then begin
+            incr pos;
+            emit (Token.Punct (String.make 1 c))
+          end
+          else error (Printf.sprintf "unexpected character %C" c)));
+      loop ()
+  in
+  loop ();
+  emit Token.Eof;
+  List.rev !tokens

@@ -1,0 +1,11 @@
+(** Hand-written lexer shared by all four dialects.
+
+    Handles C-style comments, [#launch] pragmas, dotted builtin identifiers
+    ([blockIdx.x]), namespaced identifiers ([wmma::mma_sync]), and the usual
+    multi-character operators with longest-match. *)
+
+exception Lex_error of { line : int; message : string }
+
+val tokenize : string -> Token.t list
+(** Raises [Lex_error] on an unrecognized character. The final token is
+    always [Token.Eof]. *)

@@ -1,0 +1,17 @@
+open Xpiler_ir
+
+(** Dialect front-ends: source text -> IR kernel.
+
+    The kernel body of a SIMT/MLU source is per-thread (or per-task) code;
+    the parser reconstructs the explicit parallel loop nest from the
+    [#launch] pragma, binding each built-in (e.g. [blockIdx.x]) as the loop
+    variable, and hoists [__shared__]/[__mlu_shared__] declarations to the
+    block level where they are shared by the thread group. *)
+
+exception Parse_error of string
+
+val parse : Dialect.t -> string -> Kernel.t
+(** Raises [Parse_error] (or [Lexer.Lex_error]) on malformed input — the
+    paper's "fails to compile" outcome for a source-language artifact. *)
+
+val parse_platform : Xpiler_machine.Platform.id -> string -> Kernel.t

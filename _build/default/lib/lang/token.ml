@@ -1,0 +1,21 @@
+(** Tokens of the C-like surface dialects. *)
+
+type t =
+  | Ident of string  (** identifiers, including dotted builtins like blockIdx.x *)
+  | Int_lit of int
+  | Float_lit of float
+  | Punct of string  (** operators and punctuation, longest-match *)
+  | Launch_pragma of (string * int) list  (** [#launch axis=extent ...] *)
+  | Kind_pragma of string  (** [#pragma unroll|pipeline|vectorize] *)
+  | Eof
+
+let to_string = function
+  | Ident s -> Printf.sprintf "ident %s" s
+  | Int_lit n -> Printf.sprintf "int %d" n
+  | Float_lit f -> Printf.sprintf "float %g" f
+  | Punct s -> Printf.sprintf "'%s'" s
+  | Launch_pragma ps ->
+    "#launch "
+    ^ String.concat " " (List.map (fun (a, n) -> Printf.sprintf "%s=%d" a n) ps)
+  | Kind_pragma k -> "#pragma " ^ k
+  | Eof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/machine/checker.mli: Kernel Platform Scope Xpiler_ir

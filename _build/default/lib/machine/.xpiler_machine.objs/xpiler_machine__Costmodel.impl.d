@@ -1,0 +1,1 @@
+lib/machine/costmodel.ml: Axis Dtype Expr Float Hashtbl Intrin Kernel List Platform Scope Stmt Xpiler_ir

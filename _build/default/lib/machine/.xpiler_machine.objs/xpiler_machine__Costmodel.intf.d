@@ -1,0 +1,1 @@
+lib/machine/costmodel.mli: Kernel Platform Xpiler_ir

@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Axis Dtype Effect Expr Float Fun Intrin Kernel List Printf Stmt Tensor Xpiler_ir

@@ -1,0 +1,1 @@
+lib/machine/interp.mli: Kernel Tensor Xpiler_ir

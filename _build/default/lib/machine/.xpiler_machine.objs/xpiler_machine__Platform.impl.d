@@ -1,0 +1,1 @@
+lib/machine/platform.ml: Axis Intrin List Scope Xpiler_ir

@@ -1,0 +1,1 @@
+lib/machine/platform.mli: Axis Intrin Scope Xpiler_ir

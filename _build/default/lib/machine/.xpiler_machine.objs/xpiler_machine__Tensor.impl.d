@@ -1,0 +1,1 @@
+lib/machine/tensor.ml: Array Dtype Float Fun List Printf String Xpiler_ir Xpiler_util

@@ -1,0 +1,1 @@
+lib/machine/tensor.mli: Dtype Xpiler_ir Xpiler_util

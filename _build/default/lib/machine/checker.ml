@@ -1,0 +1,141 @@
+open Xpiler_ir
+type error = {
+  category : [ `Parallelism | `Memory | `Instruction | `Structural ];
+  where : string;
+  message : string;
+}
+
+let error_to_string e =
+  let cat =
+    match e.category with
+    | `Parallelism -> "parallelism"
+    | `Memory -> "memory"
+    | `Instruction -> "instruction"
+    | `Structural -> "structural"
+  in
+  Printf.sprintf "[%s] %s: %s" cat e.where e.message
+
+let errors_to_string es = String.concat "\n" (List.map error_to_string es)
+
+let param_scope (p : Platform.t) =
+  match p.id with Platform.Vnni -> Scope.Host | Platform.Cuda | Platform.Bang | Platform.Hip -> Scope.Global
+
+let scope_env (p : Platform.t) (k : Kernel.t) =
+  let params =
+    List.map (fun (pr : Kernel.param) -> (pr.name, param_scope p)) (Kernel.buffer_params k)
+  in
+  let allocs =
+    List.map (fun (b, s, _, _) -> (b, s)) (Stmt.allocs k.Kernel.body)
+  in
+  params @ allocs
+
+let compile (p : Platform.t) (k : Kernel.t) =
+  let errors = ref [] in
+  let err category where message = errors := { category; where; message } :: !errors in
+  (* structural validity first: a kernel that is not even well-formed fails
+     compilation outright *)
+  (match Validate.check k with
+  | Ok () -> ()
+  | Error es ->
+    List.iter (fun (e : Validate.error) -> err `Structural e.where e.message) es);
+  let scopes = scope_env p k in
+  let scope_of where b =
+    match List.assoc_opt b scopes with
+    | Some s -> Some s
+    | None ->
+      err `Structural where ("unknown buffer " ^ b);
+      None
+  in
+  (* launch configuration must use axes the platform has *)
+  List.iter
+    (fun (ax, n) ->
+      if not (List.mem ax p.axes) then
+        err `Parallelism "launch"
+          (Printf.sprintf "built-in %s does not exist on %s" (Axis.to_string ax) p.name);
+      match List.assoc_opt ax p.max_axis_extent with
+      | Some limit when n > limit ->
+        err `Parallelism "launch"
+          (Printf.sprintf "%s extent %d exceeds platform limit %d" (Axis.to_string ax) n limit)
+      | _ -> ())
+    k.Kernel.launch;
+  (* walk the body *)
+  Stmt.iter
+    (fun stmt ->
+      match stmt with
+      | Stmt.For { kind = Stmt.Parallel ax; var; _ } ->
+        if not (List.mem ax p.axes) then
+          err `Parallelism ("for " ^ var)
+            (Printf.sprintf "built-in %s does not exist on %s" (Axis.to_string ax) p.name)
+      | Stmt.For _ -> ()
+      | Stmt.Alloc r ->
+        let where = "alloc " ^ r.buf in
+        if not (List.mem r.scope p.scopes) then
+          err `Memory where
+            (Printf.sprintf "memory scope %s does not exist on %s" (Scope.to_string r.scope)
+               p.name)
+        else begin
+          match List.assoc_opt r.scope p.scope_capacity_bytes with
+          | Some cap when r.size * Dtype.size_in_bytes r.dtype > cap ->
+            err `Memory where
+              (Printf.sprintf "%d bytes exceed %s capacity of %d bytes"
+                 (r.size * Dtype.size_in_bytes r.dtype)
+                 (Scope.to_string r.scope) cap)
+          | _ -> ()
+        end
+      | Stmt.Sync ->
+        if not p.supports_sync then
+          err `Parallelism "sync" (Printf.sprintf "%s has no barrier primitive" p.name)
+      | Stmt.Memcpy r ->
+        ignore (scope_of "memcpy" r.dst.buf);
+        ignore (scope_of "memcpy" r.src.buf)
+      | Stmt.Intrinsic i ->
+        let where = "intrinsic " ^ Intrin.op_name i.op in
+        if not (List.mem i.op p.intrinsics) then
+          err `Instruction where
+            (Printf.sprintf "%s has no %s intrinsic" p.name (Intrin.op_name i.op))
+        else begin
+          (* operand scope rules; on the CPU a stack array (Local) is host
+             memory, so the two scopes are interchangeable there *)
+          let scope_matches s req =
+            Scope.equal s req
+            || p.id = Platform.Vnni
+               && List.mem s [ Scope.Host; Scope.Local ]
+               && List.mem req [ Scope.Host; Scope.Local ]
+          in
+          let dst_req, src_req = Platform.intrinsic_scope_rule p.id i.op in
+          (match scope_of where i.dst.buf with
+          | Some s when not (scope_matches s dst_req) ->
+            err `Memory where
+              (Printf.sprintf "destination %s is in %s, %s requires %s" i.dst.buf
+                 (Scope.to_string s) (Intrin.op_name i.op) (Scope.to_string dst_req))
+          | _ -> ());
+          List.iteri
+            (fun idx (r : Intrin.buf_ref) ->
+              let req =
+                match List.nth_opt src_req idx with Some s -> s | None -> dst_req
+              in
+              match scope_of where r.buf with
+              | Some s when not (scope_matches s req) ->
+                err `Memory where
+                  (Printf.sprintf "operand %s is in %s, %s requires %s" r.buf
+                     (Scope.to_string s) (Intrin.op_name i.op) (Scope.to_string req))
+              | _ -> ())
+            i.srcs;
+          (* alignment: vector intrinsic lengths must be multiples of the
+             platform granularity when they are constant *)
+          (match (Intrin.is_vector i.op, i.params) with
+          | true, Expr.Int len :: _ ->
+            if len <= 0 then err `Instruction where "non-positive length"
+            else if len mod p.vector_align <> 0 then
+              err `Instruction where
+                (Printf.sprintf "length %d not a multiple of the %d-element granularity" len
+                   p.vector_align)
+          | _ -> ());
+          (match (i.op, i.params) with
+          | Intrin.Dp4a, Expr.Int len :: _ when len mod 4 <> 0 ->
+            err `Instruction where (Printf.sprintf "dp4a length %d not a multiple of 4" len)
+          | _ -> ())
+        end
+      | Stmt.Let _ | Stmt.Assign _ | Stmt.Store _ | Stmt.If _ | Stmt.Annot _ -> ())
+    k.Kernel.body;
+  match List.rev !errors with [] -> Ok () | es -> Error es

@@ -1,0 +1,26 @@
+open Xpiler_ir
+(** Platform compilation checker.
+
+    Mirrors what the vendor compiler rejects: unknown parallel built-ins,
+    illegal memory scopes, over-capacity on-chip allocations, unsupported or
+    malformed intrinsics, operands in the wrong memory space, misaligned
+    intrinsic lengths. A kernel that passes [compile] counts towards the
+    paper's *compilation accuracy* metric. *)
+
+type error = {
+  category : [ `Parallelism | `Memory | `Instruction | `Structural ];
+  where : string;
+  message : string;
+}
+
+val compile : Platform.t -> Kernel.t -> (unit, error list) result
+
+val error_to_string : error -> string
+val errors_to_string : error list -> string
+
+val param_scope : Platform.t -> Scope.t
+(** The scope kernel buffer parameters live in on this platform
+    ([Global] on devices, [Host] on the CPU). *)
+
+val scope_env : Platform.t -> Kernel.t -> (string * Scope.t) list
+(** Scope of every buffer visible in the kernel (params + allocs). *)

@@ -1,0 +1,46 @@
+open Xpiler_ir
+(** Reference interpreter for tensor-program kernels.
+
+    Executes a kernel with full numerical semantics. SIMT thread groups
+    (threadIdx.* / coreId parallel loops) run as cooperating fibers built on
+    OCaml effect handlers: all fibers of a group advance to the next [Sync]
+    barrier before any continues, so cooperative shared-memory tiling
+    executes exactly as on hardware. Within a round, fibers run in *reverse*
+    thread order, which deterministically exposes missing-barrier races as
+    stale reads instead of letting in-order execution hide them.
+
+    Block-level axes (blockIdx.*, taskId, clusterId) carry no barrier on real
+    hardware and run as ordinary sequential loops.
+
+    Outcomes map onto the paper's metrics: raising [Runtime_error] (out of
+    bounds, unbound name, fuel exhausted, division by zero) means the
+    translated kernel fails its unit test. *)
+
+exception Runtime_error of string
+
+type arg = Buf of Tensor.t | Scalar_int of int | Scalar_float of float
+
+type stats = {
+  mutable steps : int;  (** executed statements *)
+  mutable stores : int;
+  mutable intrinsic_elems : int;  (** elements processed by intrinsics *)
+  mutable memcpy_elems : int;
+  mutable barriers : int;
+}
+
+val run :
+  ?fuel:int ->
+  ?trace:(string -> int -> float -> unit) ->
+  Kernel.t ->
+  (string * arg) list ->
+  stats
+(** [run kernel args] executes the kernel, mutating the [Buf] arguments in
+    place. [args] must bind every kernel parameter. [trace], when given, is
+    called as [trace buf index value] on every scalar store (not on bulk
+    memcpy/intrinsic writes) — bug localization uses it as its "insert print
+    statements" probe. [fuel] bounds executed statements (default 200M). *)
+
+val run_prefix :
+  ?fuel:int -> Kernel.t -> stop_after:int -> (string * arg) list -> stats
+(** Execute only the first [stop_after] store operations, then halt cleanly.
+    Used by bug localization's binary search over program points. *)

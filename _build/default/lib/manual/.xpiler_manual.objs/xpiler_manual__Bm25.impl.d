@@ -1,0 +1,1 @@
+lib/manual/bm25.ml: Array Buffer Float Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/manual/bm25.mli:

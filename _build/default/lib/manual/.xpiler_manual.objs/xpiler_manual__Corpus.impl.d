@@ -1,0 +1,1 @@
+lib/manual/corpus.ml: Axis Bm25 Dialect Hashtbl Intrin List Platform Printf Scope String Xpiler_ir Xpiler_lang Xpiler_machine

@@ -1,0 +1,1 @@
+lib/manual/corpus.mli: Bm25 Intrin Platform Xpiler_ir Xpiler_machine

@@ -1,0 +1,88 @@
+type doc = { id : string; text : string }
+
+type index = {
+  docs : doc array;
+  doc_tokens : string list array;
+  doc_len : int array;
+  avg_len : float;
+  df : (string, int) Hashtbl.t;
+}
+
+let tokenize text =
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := String.lowercase_ascii (Buffer.contents buf) :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') then
+        Buffer.add_char buf c
+      else flush ())
+    text;
+  flush ();
+  List.rev !tokens
+
+let build docs =
+  let docs = Array.of_list docs in
+  let doc_tokens = Array.map (fun d -> tokenize d.text) docs in
+  let doc_len = Array.map List.length doc_tokens in
+  let total = Array.fold_left ( + ) 0 doc_len in
+  let avg_len = if Array.length docs = 0 then 1.0 else float_of_int total /. float_of_int (Array.length docs) in
+  let df = Hashtbl.create 64 in
+  Array.iter
+    (fun toks ->
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun t ->
+          if not (Hashtbl.mem seen t) then begin
+            Hashtbl.add seen t ();
+            Hashtbl.replace df t (1 + Option.value ~default:0 (Hashtbl.find_opt df t))
+          end)
+        toks)
+    doc_tokens;
+  { docs; doc_tokens; doc_len; avg_len; df }
+
+let k1 = 1.5
+let b = 0.75
+
+let search idx query =
+  let n = Array.length idx.docs in
+  if n = 0 then []
+  else begin
+    let qtokens = tokenize query in
+    let idf t =
+      let d = Option.value ~default:0 (Hashtbl.find_opt idx.df t) in
+      log ((float_of_int (n - d) +. 0.5) /. (float_of_int d +. 0.5) +. 1.0)
+    in
+    let scores =
+      Array.mapi
+        (fun i doc ->
+          let toks = idx.doc_tokens.(i) in
+          let len = float_of_int idx.doc_len.(i) in
+          let tf t = List.length (List.filter (String.equal t) toks) in
+          let score =
+            List.fold_left
+              (fun acc t ->
+                let f = float_of_int (tf t) in
+                if f = 0.0 then acc
+                else
+                  acc
+                  +. idf t
+                     *. (f *. (k1 +. 1.0))
+                     /. (f +. (k1 *. (1.0 -. b +. (b *. len /. idx.avg_len)))))
+              0.0 qtokens
+          in
+          (doc.id, score))
+        idx.docs
+    in
+    Array.to_list scores
+    |> List.filter (fun (_, s) -> s > 0.0)
+    |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  end
+
+let top idx query n =
+  search idx query |> List.filteri (fun i _ -> i < n) |> List.map fst

@@ -1,0 +1,19 @@
+(** Okapi BM25 ranking over a small document collection.
+
+    Program annotation (Algorithm 1) retrieves the manual entry for each
+    identified computation; meta-prompt construction retrieves
+    platform-specific implementation examples. *)
+
+type doc = { id : string; text : string }
+type index
+
+val build : doc list -> index
+val tokenize : string -> string list
+(** Lowercased alphanumeric tokens; underscores and [::] split identifiers so
+    [__bang_mlp] matches the query "mlp". *)
+
+val search : index -> string -> (string * float) list
+(** [search idx query] returns (doc id, score) sorted by descending score;
+    only documents with a positive score are returned. *)
+
+val top : index -> string -> int -> string list

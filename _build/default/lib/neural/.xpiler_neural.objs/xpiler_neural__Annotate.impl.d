@@ -1,0 +1,1 @@
+lib/neural/annotate.ml: Expr Intrin Kernel Linear List Printf Stmt String Xpiler_ir Xpiler_manual Xpiler_passes

@@ -1,0 +1,1 @@
+lib/neural/annotate.mli: Kernel Platform Xpiler_ir Xpiler_machine

@@ -1,0 +1,1 @@
+lib/neural/fault.ml: Axis Expr Intrin Kernel Linear List Option Platform Printf Scope Stmt Xpiler_ir Xpiler_machine Xpiler_passes Xpiler_util

@@ -1,0 +1,1 @@
+lib/neural/fault.mli: Kernel Platform Xpiler_ir Xpiler_machine Xpiler_util

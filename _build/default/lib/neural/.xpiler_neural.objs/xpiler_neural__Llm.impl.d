@@ -1,0 +1,1 @@
+lib/neural/llm.ml: Fault Kernel List Meta_prompt Platform Profile Stmt Xpiler_ir Xpiler_machine Xpiler_ops Xpiler_passes Xpiler_util

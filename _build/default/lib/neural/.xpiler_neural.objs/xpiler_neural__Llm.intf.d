@@ -1,0 +1,1 @@
+lib/neural/llm.mli: Fault Kernel Meta_prompt Platform Profile Xpiler_ir Xpiler_machine Xpiler_ops Xpiler_passes Xpiler_util

@@ -1,0 +1,1 @@
+lib/neural/meta_prompt.ml: Annotate Buffer Kernel List Printf Stmt String Xpiler_ir Xpiler_manual Xpiler_passes

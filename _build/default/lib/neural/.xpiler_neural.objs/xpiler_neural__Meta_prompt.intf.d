@@ -1,0 +1,1 @@
+lib/neural/meta_prompt.mli: Kernel Platform Xpiler_ir Xpiler_machine Xpiler_passes

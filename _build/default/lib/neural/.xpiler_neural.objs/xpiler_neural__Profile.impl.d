@@ -1,0 +1,1 @@
+lib/neural/profile.ml: Float Platform Xpiler_machine

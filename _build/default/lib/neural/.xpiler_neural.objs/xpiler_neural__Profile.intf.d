@@ -1,0 +1,1 @@
+lib/neural/profile.mli: Platform Xpiler_machine

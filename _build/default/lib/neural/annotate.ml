@@ -1,0 +1,138 @@
+open Xpiler_ir
+
+type operation =
+  | Op_matmul of { m : int; k : int; n : int }
+  | Op_reduction of [ `Sum | `Max ]
+  | Op_elementwise of string
+  | Op_copy
+  | Op_dot_i8
+
+let operation_name = function
+  | Op_matmul { m; k; n } -> Printf.sprintf "matmul(%dx%dx%d)" m k n
+  | Op_reduction `Sum -> "reduce_sum"
+  | Op_reduction `Max -> "reduce_max"
+  | Op_elementwise name -> "elementwise_" ^ name
+  | Op_copy -> "copy"
+  | Op_dot_i8 -> "dot_product_int8"
+
+(* classification mirrors the tensorize matchers but never rewrites *)
+let classify_store v value =
+  match value with
+  | Expr.Binop (Expr.Max, _, Expr.Float 0.0) -> Some (Op_elementwise "relu")
+  | Expr.Binop (Expr.Div, Expr.Float 1.0, Expr.Binop (Expr.Add, Expr.Float 1.0, Expr.Unop (Expr.Exp, _)))
+    -> Some (Op_elementwise "sigmoid")
+  | Expr.Binop (Expr.Mul, Expr.Binop (Expr.Mul, Expr.Float 0.5, _), Expr.Binop (Expr.Add, Expr.Float 1.0, Expr.Unop (Expr.Erf, _)))
+    -> Some (Op_elementwise "gelu")
+  | Expr.Select (Expr.Binop (Expr.Gt, _, Expr.Float 0.0), Expr.Float 1.0, _) ->
+    Some (Op_elementwise "sign")
+  | Expr.Binop (op, Expr.Load _, Expr.Load _) -> (
+    match op with
+    | Expr.Add -> Some (Op_elementwise "add")
+    | Expr.Sub -> Some (Op_elementwise "sub")
+    | Expr.Mul -> Some (Op_elementwise "mul")
+    | Expr.Max -> Some (Op_elementwise "max")
+    | Expr.Min -> Some (Op_elementwise "min")
+    | _ -> None)
+  | Expr.Binop ((Expr.Mul | Expr.Add | Expr.Sub), Expr.Load _, s)
+    when Linear.independent_of v s ->
+    Some (Op_elementwise "scalar_broadcast")
+  | Expr.Unop (Expr.Exp, _) -> Some (Op_elementwise "exp")
+  | Expr.Unop (Expr.Tanh, _) -> Some (Op_elementwise "tanh")
+  | Expr.Unop (Expr.Erf, _) -> Some (Op_elementwise "erf")
+  | Expr.Unop (Expr.Sqrt, _) -> Some (Op_elementwise "sqrt")
+  | Expr.Load _ -> Some Op_copy
+  | _ -> None
+
+let classify_loop (r : (* For record fields *) string * Expr.t * Stmt.t list) =
+  let v, extent, body = r in
+  match body with
+  | [ Stmt.Store { value; _ } ] -> classify_store v value
+  | [ Stmt.Assign { var = acc; value = Expr.Binop (Expr.Add, Expr.Var acc', Expr.Load _) } ]
+    when String.equal acc acc' -> Some (Op_reduction `Sum)
+  | [ Stmt.Assign { var = acc; value = Expr.Binop (Expr.Max, Expr.Var acc', Expr.Load _) } ]
+    when String.equal acc acc' -> Some (Op_reduction `Max)
+  | [ Stmt.For jl ] -> (
+    (* matmul triple nest *)
+    match jl.body with
+    | [ Stmt.Let _; Stmt.For kl; Stmt.Store _ ] -> (
+      match
+        ( Xpiler_passes.Rewrite.const_extent extent,
+          Xpiler_passes.Rewrite.const_extent jl.extent,
+          Xpiler_passes.Rewrite.const_extent kl.extent,
+          kl.body )
+      with
+      | ( Ok m, Ok n, Ok kk,
+          [ Stmt.Assign { value = Expr.Binop (Expr.Add, _, Expr.Binop (Expr.Mul, Expr.Load _, Expr.Load _)); _ } ] )
+        -> Some (Op_matmul { m; k = kk; n })
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let operations_in (k : Kernel.t) =
+  let ops = ref [] in
+  let rec walk block =
+    List.iter
+      (fun s ->
+        match s with
+        | Stmt.For r -> (
+          match classify_loop (r.var, r.extent, r.body) with
+          | Some op -> ops := op :: !ops
+          | None -> walk r.body)
+        | Stmt.If r ->
+          walk r.then_;
+          walk r.else_
+        | Stmt.Intrinsic i -> (
+          match i.op with
+          | Intrin.Mlp | Intrin.Mma ->
+            ops := Op_matmul { m = 0; k = 0; n = 0 } :: !ops
+          | Intrin.Dp4a -> ops := Op_dot_i8 :: !ops
+          | _ -> ())
+        | _ -> ())
+      block
+  in
+  walk k.Kernel.body;
+  List.rev !ops
+
+let is_annotated (k : Kernel.t) =
+  Stmt.fold
+    (fun acc s -> acc || match s with Stmt.Annot { key = "operation"; _ } -> true | _ -> false)
+    false k.Kernel.body
+
+let reference_for target op =
+  let query =
+    match op with
+    | Op_matmul _ -> "matmul matrix multiplication gemm"
+    | Op_reduction `Sum -> "reduce sum"
+    | Op_reduction `Max -> "reduce max"
+    | Op_elementwise name -> "elementwise " ^ name
+    | Op_copy -> "copy vector"
+    | Op_dot_i8 -> "int8 dot product"
+  in
+  match Xpiler_manual.Corpus.search target query 1 with
+  | entry :: _ -> Some entry.Xpiler_manual.Corpus.body
+  | [] -> None
+
+let annotate ~target (k : Kernel.t) =
+  if is_annotated k then k
+  else begin
+    let rec walk block =
+      List.concat_map
+        (fun s ->
+          match s with
+          | Stmt.For r -> (
+            match classify_loop (r.var, r.extent, r.body) with
+            | Some op ->
+              let refs =
+                match reference_for target op with
+                | Some body -> [ Stmt.Annot { key = "reference"; value = body } ]
+                | None -> []
+              in
+              (Stmt.Annot { key = "operation"; value = operation_name op } :: refs)
+              @ [ Stmt.For { r with body = walk r.body } ]
+            | None -> [ Stmt.For { r with body = walk r.body } ])
+          | Stmt.If r -> [ Stmt.If { r with then_ = walk r.then_; else_ = walk r.else_ } ]
+          | s -> [ s ])
+        block
+    in
+    Kernel.with_body k (walk k.Kernel.body)
+  end

@@ -1,0 +1,29 @@
+open Xpiler_ir
+open Xpiler_machine
+
+(** Program annotation (paper Algorithm 1).
+
+    Two phases: *semantics annotation* marks each computational loop nest
+    with its platform-agnostic operation (matmul, reduction, elementwise map,
+    …); *reference annotation* retrieves the matching target-platform manual
+    entry via BM25 and attaches the intrinsic's signature and constraints.
+    Annotations are [Stmt.Annot] markers — inert for execution, load-bearing
+    for the neural oracle's accuracy. *)
+
+type operation =
+  | Op_matmul of { m : int; k : int; n : int }
+  | Op_reduction of [ `Sum | `Max ]
+  | Op_elementwise of string  (** operator or activation name *)
+  | Op_copy
+  | Op_dot_i8
+
+val operation_name : operation -> string
+
+val operations_in : Kernel.t -> operation list
+(** The computational operations the semantic annotator identifies. *)
+
+val annotate : target:Platform.id -> Kernel.t -> Kernel.t
+(** Insert [@operation] markers before recognized nests and one
+    [@reference] marker per retrieved manual entry. Idempotent. *)
+
+val is_annotated : Kernel.t -> bool

@@ -1,0 +1,236 @@
+open Xpiler_ir
+open Xpiler_machine
+module Rng = Xpiler_util.Rng
+
+type category = Parallelism | Memory | Instruction
+type severity = Structural | Detail
+
+type injected = { category : category; severity : severity; description : string }
+
+let category_name = function
+  | Parallelism -> "parallelism"
+  | Memory -> "memory"
+  | Instruction -> "instruction"
+
+let rewrite_nth n select f (k : Kernel.t) =
+  Kernel.map_body (Xpiler_passes.Rewrite.rewrite_nth n select f) k
+
+let count_matching select (k : Kernel.t) =
+  Xpiler_passes.Rewrite.count_matching select k.Kernel.body
+
+let pick_site rng select f k =
+  let total = count_matching select k in
+  if total = 0 then None else Some (rewrite_nth (Rng.int rng total) select f k)
+
+(* ---- structural: parallelism ------------------------------------------------ *)
+
+let foreign_axis (target : Platform.t) =
+  match target.Platform.id with
+  | Platform.Bang -> Axis.Thread_x  (* a CUDA habit on the MLU *)
+  | Platform.Cuda | Platform.Hip -> Axis.Task_id
+  | Platform.Vnni -> Axis.Thread_x
+
+let inject_parallel_structural rng target k =
+  let is_par = function Stmt.For { kind = Stmt.Parallel _; _ } -> true | _ -> false in
+  let wrong = foreign_axis target in
+  match
+    pick_site rng is_par
+      (function
+        | Stmt.For r ->
+          Stmt.For
+            { r with
+              var = Axis.to_string wrong;
+              kind = Stmt.Parallel wrong;
+              body = Stmt.subst_var r.var (Expr.Var (Axis.to_string wrong)) r.body
+            }
+        | s -> s)
+      k
+  with
+  | Some k' ->
+    Some
+      ( k',
+        { category = Parallelism;
+          severity = Structural;
+          description = Printf.sprintf "used foreign built-in %s" (Axis.to_string wrong)
+        } )
+  | None ->
+    (* sequential target: fabricate a parallel loop out of the outermost one *)
+    let is_outer = function Stmt.For { kind = Stmt.Serial; _ } -> true | _ -> false in
+    pick_site rng is_outer
+      (function
+        | Stmt.For r -> Stmt.For { r with kind = Stmt.Parallel wrong }
+        | s -> s)
+      k
+    |> Option.map (fun k' ->
+           ( k',
+             { category = Parallelism;
+               severity = Structural;
+               description =
+                 Printf.sprintf "invented parallel built-in %s" (Axis.to_string wrong)
+             } ))
+
+(* ---- structural: memory ------------------------------------------------------ *)
+
+let wrong_scope (target : Platform.t) current =
+  match target.Platform.id with
+  | Platform.Bang -> (
+    (* classic WRAM/NRAM confusion (Figure 2b) or a CUDA scope *)
+    match current with
+    | Scope.Wram -> Scope.Nram
+    | Scope.Nram -> Scope.Wram
+    | _ -> Scope.Shared)
+  | Platform.Cuda | Platform.Hip -> Scope.Nram
+  | Platform.Vnni -> Scope.Shared
+
+let inject_memory_structural rng target k =
+  let drop_copy = Rng.bool rng in
+  let is_copy = function Stmt.Memcpy _ -> true | _ -> false in
+  if drop_copy && count_matching is_copy k > 0 then
+    pick_site rng is_copy (fun _ -> Stmt.Annot { key = "elided"; value = "memcpy" }) k
+    |> Option.map (fun k' ->
+           ( k',
+             { category = Memory;
+               severity = Structural;
+               description = "omitted a staging copy"
+             } ))
+  else begin
+    let is_alloc = function Stmt.Alloc _ -> true | _ -> false in
+    pick_site rng is_alloc
+      (function
+        | Stmt.Alloc r -> Stmt.Alloc { r with scope = wrong_scope target r.scope }
+        | s -> s)
+      k
+    |> Option.map (fun k' ->
+           ( k',
+             { category = Memory;
+               severity = Structural;
+               description = "placed a buffer in the wrong memory space"
+             } ))
+  end
+
+(* ---- structural: instruction -------------------------------------------------- *)
+
+let inject_instruction_structural rng (target : Platform.t) k =
+  let is_intrin = function Stmt.Intrinsic _ -> true | _ -> false in
+  let unsupported =
+    List.find_opt
+      (fun op -> not (List.mem op target.Platform.intrinsics))
+      [ Intrin.Mlp; Intrin.Mma; Intrin.Vec_add; Intrin.Conv2d ]
+  in
+  let swap (i : Intrin.t) : Intrin.t =
+    match (Rng.bool rng, unsupported) with
+    | true, Some op when Intrin.arity op = Intrin.arity i.op && Intrin.param_count op = Intrin.param_count i.op ->
+      { i with op }
+    | _ ->
+      (* a same-shape but wrong operation: the code compiles yet computes the
+         wrong thing *)
+      let wrong =
+        match i.op with
+        | Intrin.Vec_add -> Intrin.Vec_sub
+        | Intrin.Vec_sub -> Intrin.Vec_add
+        | Intrin.Vec_mul -> Intrin.Vec_add
+        | Intrin.Vec_max -> Intrin.Vec_min
+        | Intrin.Vec_min -> Intrin.Vec_max
+        | Intrin.Vec_exp -> Intrin.Vec_log
+        | Intrin.Vec_tanh -> Intrin.Vec_sigmoid
+        | Intrin.Vec_reduce_sum -> Intrin.Vec_reduce_max
+        | Intrin.Vec_reduce_max -> Intrin.Vec_reduce_sum
+        | op -> op
+      in
+      { i with op = wrong }
+  in
+  pick_site rng is_intrin
+    (function Stmt.Intrinsic i -> Stmt.Intrinsic (swap i) | s -> s)
+    k
+  |> Option.map (fun k' ->
+         ( k',
+           { category = Instruction;
+             severity = Structural;
+             description = "selected the wrong intrinsic"
+           } ))
+
+(* ---- detail faults -------------------------------------------------------------- *)
+
+let inject_bound rng k =
+  let is_const_for = function
+    | Stmt.For { extent = Expr.Int n; kind = Stmt.Serial; _ } -> n > 2
+    | _ -> false
+  in
+  let delta = Rng.choose rng [ -2; -1; 1; 2 ] in
+  pick_site rng is_const_for
+    (function
+      | Stmt.For ({ extent = Expr.Int n; _ } as r) ->
+        Stmt.For { r with extent = Expr.Int (max 1 (n + delta)) }
+      | s -> s)
+    k
+  |> Option.map (fun k' ->
+         ( k',
+           { category = Instruction;
+             severity = Detail;
+             description = Printf.sprintf "loop bound off by %d" delta
+           } ))
+
+let inject_index rng k =
+  let is_store = function Stmt.Store _ -> true | _ -> false in
+  let delta = Rng.choose rng [ -1; 1; 2 ] in
+  pick_site rng is_store
+    (function
+      | Stmt.Store r ->
+        Stmt.Store
+          { r with index = Linear.normalize (Expr.Binop (Expr.Add, r.index, Expr.Int delta)) }
+      | s -> s)
+    k
+  |> Option.map (fun k' ->
+         ( k',
+           { category = Memory;
+             severity = Detail;
+             description = Printf.sprintf "store index off by %d" delta
+           } ))
+
+let inject_param rng k =
+  let is_site = function
+    | Stmt.Intrinsic { params = Expr.Int _ :: _; _ } -> true
+    | Stmt.Memcpy { len = Expr.Int _; _ } -> true
+    | _ -> false
+  in
+  let perturb rng n =
+    (* Figure 2c: plausible-but-wrong lengths (a power of two near the true
+       value, a halved/doubled extent, or an off-by-small amount) *)
+    let candidate () =
+      match Rng.int rng 4 with
+      | 0 -> max 1 (n / 2)
+      | 1 -> n * 2
+      | 2 -> max 1 (n - Rng.choose rng [ 1; 2; 64 ])
+      | _ ->
+        let rec pow2 p = if p * 2 > n then p else pow2 (p * 2) in
+        max 1 (pow2 1)
+    in
+    let rec retry budget =
+      let c = candidate () in
+      if c <> n || budget = 0 then if c = n then n + 1 else c else retry (budget - 1)
+    in
+    retry 4
+  in
+  pick_site rng is_site
+    (function
+      | Stmt.Intrinsic ({ params = Expr.Int n :: rest; _ } as i) ->
+        Stmt.Intrinsic { i with params = Expr.Int (perturb rng n) :: rest }
+      | Stmt.Memcpy ({ len = Expr.Int n; _ } as r) ->
+        Stmt.Memcpy { r with len = Expr.Int (perturb rng n) }
+      | s -> s)
+    k
+  |> Option.map (fun k' ->
+         ( k',
+           { category = Instruction;
+             severity = Detail;
+             description = "intrinsic length parameter wrong"
+           } ))
+
+let inject rng ~target severity category k =
+  match (severity, category) with
+  | Structural, Parallelism -> inject_parallel_structural rng target k
+  | Structural, Memory -> inject_memory_structural rng target k
+  | Structural, Instruction -> inject_instruction_structural rng target k
+  | Detail, Parallelism | Detail, Instruction -> (
+    match inject_bound rng k with Some r -> Some r | None -> inject_param rng k)
+  | Detail, Memory -> inject_index rng k

@@ -1,0 +1,35 @@
+open Xpiler_ir
+open Xpiler_machine
+
+(** Fault injectors: the concrete error modes of §2.2's taxonomy.
+
+    Structural faults break the program's shape (illegal built-ins or
+    scopes, missing staging copies, wrong intrinsics) — these surface as
+    compile errors or need re-generation. Detail faults perturb the
+    low-level constants LLMs get wrong (loop bounds, index offsets,
+    intrinsic lengths, Figure 2) — exactly the class SMT-based repair
+    recovers. *)
+
+type category = Parallelism | Memory | Instruction
+type severity = Structural | Detail
+
+type injected = {
+  category : category;
+  severity : severity;
+  description : string;
+}
+
+val category_name : category -> string
+
+val inject :
+  Xpiler_util.Rng.t ->
+  target:Platform.t ->
+  severity ->
+  category ->
+  Kernel.t ->
+  (Kernel.t * injected) option
+(** [None] when the kernel has no applicable site for this fault class. *)
+
+val inject_bound : Xpiler_util.Rng.t -> Kernel.t -> (Kernel.t * injected) option
+val inject_index : Xpiler_util.Rng.t -> Kernel.t -> (Kernel.t * injected) option
+val inject_param : Xpiler_util.Rng.t -> Kernel.t -> (Kernel.t * injected) option

@@ -1,0 +1,19 @@
+open Xpiler_ir
+open Xpiler_machine
+
+(** Meta-prompts (paper §4.2): the per-pass prompt template instantiated for
+    a source program — platform-agnostic description, platform-specific
+    examples retrieved from the target manual, and optional tuning knobs. *)
+
+type t = {
+  pass_name : string;
+  agnostic : string;
+  examples : string list;  (** retrieved from the target platform's manual *)
+  knobs : string option;  (** present for loop split / reorder (Figure 6) *)
+}
+
+val build : target:Platform.id -> Xpiler_passes.Pass.spec -> Kernel.t -> t
+val render : t -> string
+
+val token_count : t -> Kernel.t -> int
+(** Rough prompt+program size used by the compile-time model (Figure 8). *)

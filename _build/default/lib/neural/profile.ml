@@ -1,0 +1,111 @@
+open Xpiler_machine
+
+type t = {
+  name : string;
+  structural_parallel : float;
+  structural_memory : float;
+  structural_instruction : float;
+  detail_bound : float;
+  detail_index : float;
+  detail_param : float;
+  gives_up : float;
+}
+
+(* Calibrated so the single-step baselines land near the paper's Table 2 and
+   Table 6 numbers once the direction multiplier is applied. *)
+
+let gpt4_zero_shot =
+  { name = "gpt4-zero-shot";
+    structural_parallel = 0.55;
+    structural_memory = 0.70;
+    structural_instruction = 0.70;
+    detail_bound = 0.40;
+    detail_index = 0.45;
+    detail_param = 0.50;
+    gives_up = 0.15
+  }
+
+let gpt4_few_shot =
+  { name = "gpt4-few-shot";
+    structural_parallel = 0.35;
+    structural_memory = 0.18;
+    structural_instruction = 0.40;
+    detail_bound = 0.30;
+    detail_index = 0.35;
+    detail_param = 0.45;
+    gives_up = 0.02
+  }
+
+let o1_zero_shot =
+  { name = "o1-zero-shot";
+    structural_parallel = 0.45;
+    structural_memory = 0.55;
+    structural_instruction = 0.60;
+    detail_bound = 0.30;
+    detail_index = 0.35;
+    detail_param = 0.40;
+    gives_up = 0.10
+  }
+
+let o1_few_shot =
+  { name = "o1-few-shot";
+    structural_parallel = 0.25;
+    structural_memory = 0.12;
+    structural_instruction = 0.30;
+    detail_bound = 0.22;
+    detail_index = 0.28;
+    detail_param = 0.35;
+    gives_up = 0.01
+  }
+
+let pass_level ~annotated =
+  if annotated then
+    { name = "xpiler-pass-annotated";
+      structural_parallel = 0.0015;
+      structural_memory = 0.002;
+      structural_instruction = 0.002;
+      detail_bound = 0.03;
+      detail_index = 0.035;
+      detail_param = 0.045;
+      gives_up = 0.0
+    }
+  else
+    { name = "xpiler-pass";
+      structural_parallel = 0.01;
+      structural_memory = 0.015;
+      structural_instruction = 0.015;
+      detail_bound = 0.09;
+      detail_index = 0.10;
+      detail_param = 0.13;
+      gives_up = 0.0
+    }
+
+let target_factor = function
+  | Platform.Bang -> 1.6  (* uncommon language, SIMD + NRAM/WRAM split *)
+  | Platform.Vnni -> 1.0
+  | Platform.Cuda -> 0.7
+  | Platform.Hip -> 0.45
+
+let src_factor = function
+  | Platform.Bang -> 1.15  (* little training data to read it either *)
+  | Platform.Vnni -> 0.9
+  | Platform.Cuda -> 0.85
+  | Platform.Hip -> 0.9
+
+let direction_difficulty ~src ~dst =
+  if Platform.equal_id src Platform.Cuda && Platform.equal_id dst Platform.Hip then 0.12
+  else if Platform.equal_id src Platform.Hip && Platform.equal_id dst Platform.Cuda then 0.15
+  else src_factor src *. target_factor dst
+
+let clamp p = Float.min 0.98 (Float.max 0.0 p)
+
+let scale t f =
+  { t with
+    structural_parallel = clamp (t.structural_parallel *. f);
+    structural_memory = clamp (t.structural_memory *. f);
+    structural_instruction = clamp (t.structural_instruction *. f);
+    detail_bound = clamp (t.detail_bound *. f);
+    detail_index = clamp (t.detail_index *. f);
+    detail_param = clamp (t.detail_param *. f);
+    gives_up = clamp (t.gives_up *. f)
+  }

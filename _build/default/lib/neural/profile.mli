@@ -1,0 +1,41 @@
+open Xpiler_machine
+
+(** Behavioural profiles of the simulated code LLMs.
+
+    GPT-4 is not available in this sealed environment; the neural oracle
+    substitutes it with a structural transformer plus *calibrated fault
+    injection* (see DESIGN.md). A profile gives the per-category fault
+    probabilities; the taxonomy follows the paper's §2.2: parallelism-,
+    memory- and instruction-related errors, each either *structural*
+    (compile-breaking, beyond SMT repair) or *detail* (loop bounds, index
+    offsets, intrinsic parameters — the class SMT-based repair targets). *)
+
+type t = {
+  name : string;
+  structural_parallel : float;  (** wrong/missing parallel built-in mapping *)
+  structural_memory : float;  (** wrong memory scope / missing staging *)
+  structural_instruction : float;  (** unsupported or malformed intrinsic *)
+  detail_bound : float;  (** loop bound off by a small amount *)
+  detail_index : float;  (** index expression off *)
+  detail_param : float;  (** intrinsic length/parameter wrong *)
+  gives_up : float;  (** emits unparseable output for the target entirely *)
+}
+
+val gpt4_zero_shot : t
+val gpt4_few_shot : t
+val o1_zero_shot : t
+val o1_few_shot : t
+
+val pass_level : annotated:bool -> t
+(** Per-pass behaviour inside QiMeng-Xpiler's decomposed pipeline: each pass
+    is a much smaller ask than whole-program translation, so fault rates are
+    far lower; program annotation (Algorithm 1) lowers the structural rates
+    further. *)
+
+val direction_difficulty : src:Platform.id -> dst:Platform.id -> float
+(** Multiplier on all fault probabilities for a translation direction.
+    Targeting BANG C (uncommon, SIMD, split NRAM/WRAM) is hardest; CUDA<->HIP
+    is nearly free; the CPU sits in between, per the paper's Table 6. *)
+
+val scale : t -> float -> t
+(** Scale every fault probability (clamped to [0, 0.98]). *)

@@ -1,0 +1,1 @@
+lib/ops/defs_basic.ml: Builder Dtype Expr Kernel Opdef Stdlib Xpiler_ir

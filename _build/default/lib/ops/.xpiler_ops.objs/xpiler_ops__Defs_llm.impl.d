@@ -1,0 +1,1 @@
+lib/ops/defs_llm.ml: Builder Dtype Expr Kernel Opdef Scope Stdlib Xpiler_ir

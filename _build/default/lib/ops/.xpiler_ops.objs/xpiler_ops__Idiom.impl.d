@@ -1,0 +1,1 @@
+lib/ops/idiom.ml: Axis Checker Expr Hashtbl Kernel List Memory_pass Opdef Option Pass Platform Printf Result Rewrite Scope Stmt String Xpiler_ir Xpiler_lang Xpiler_machine Xpiler_passes

@@ -1,0 +1,1 @@
+lib/ops/idiom.mli: Kernel Opdef Platform Xpiler_ir Xpiler_machine Xpiler_passes

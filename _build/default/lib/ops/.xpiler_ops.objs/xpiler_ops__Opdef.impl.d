@@ -1,0 +1,1 @@
+lib/ops/opdef.ml: Dtype Kernel List Xpiler_ir

@@ -1,0 +1,1 @@
+lib/ops/opdef.mli: Dtype Kernel Xpiler_ir

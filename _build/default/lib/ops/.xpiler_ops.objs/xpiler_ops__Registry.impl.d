@@ -1,0 +1,1 @@
+lib/ops/registry.ml: Defs_basic Defs_llm List Opdef Printf String

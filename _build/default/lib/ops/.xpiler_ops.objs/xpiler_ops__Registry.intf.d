@@ -1,0 +1,1 @@
+lib/ops/registry.mli: Opdef

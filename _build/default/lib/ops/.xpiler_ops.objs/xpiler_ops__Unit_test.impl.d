@@ -1,0 +1,1 @@
+lib/ops/unit_test.ml: Interp List Opdef Printf Tensor Xpiler_machine Xpiler_util

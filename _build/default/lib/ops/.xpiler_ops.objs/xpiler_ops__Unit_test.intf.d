@@ -1,0 +1,1 @@
+lib/ops/unit_test.mli: Interp Kernel Opdef Tensor Xpiler_ir Xpiler_machine Xpiler_util

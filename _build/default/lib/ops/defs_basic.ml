@@ -1,0 +1,441 @@
+(* Operator definitions: MatMul, Convolution, Pooling, Elementwise and the
+   simple activations. Shapes are baked into the kernels as constants, as is
+   usual for tensor-program benchmarks. *)
+
+open Xpiler_ir
+open Opdef
+
+let d = dim
+let fbuf name size : buffer_spec = { buf_name = name; dtype = Dtype.F32; size; is_output = false }
+let fout name size : buffer_spec = { buf_name = name; dtype = Dtype.F32; size; is_output = true }
+
+let sh pairs = pairs
+
+(* ---- MatMul family -------------------------------------------------------- *)
+
+let gemm =
+  let serial shp =
+    let m = d shp "m" and n = d shp "n" and k = d shp "k" in
+    let open Expr.Infix in
+    Kernel.make ~name:"gemm"
+      ~params:[ Builder.buffer "A"; Builder.buffer "B"; Builder.buffer "C" ]
+      [ Builder.for_ "i" (int m)
+          [ Builder.for_ "j" (int n)
+              [ Builder.let_ "acc" (flt 0.0);
+                Builder.for_ "p" (int k)
+                  [ Builder.assign "acc"
+                      (v "acc"
+                      + (load "A" ((v "i" * int k) + v "p") * load "B" ((v "p" * int n) + v "j")))
+                  ];
+                Builder.store "C" ((v "i" * int n) + v "j") (v "acc")
+              ]
+          ]
+      ]
+  in
+  { name = "gemm";
+    cls = Matmul;
+    shapes =
+      [ sh [ ("m", 16); ("n", 64); ("k", 32) ]; sh [ ("m", 32); ("n", 64); ("k", 32) ];
+        sh [ ("m", 8); ("n", 64); ("k", 64) ]; sh [ ("m", 16); ("n", 128); ("k", 32) ];
+        sh [ ("m", 64); ("n", 64); ("k", 16) ]; sh [ ("m", 32); ("n", 64); ("k", 64) ];
+        sh [ ("m", 16); ("n", 64); ("k", 64) ]; sh [ ("m", 8); ("n", 128); ("k", 32) ] ];
+    buffers =
+      [ fbuf "A" (fun s -> d s "m" * d s "k"); fbuf "B" (fun s -> d s "k" * d s "n");
+        fout "C" (fun s -> d s "m" * d s "n") ];
+    serial;
+    flops = (fun s -> 2.0 *. float_of_int (d s "m" * d s "n" * d s "k"))
+  }
+
+let gemv =
+  let serial shp =
+    let m = d shp "m" and k = d shp "k" in
+    let open Expr.Infix in
+    Kernel.make ~name:"gemv"
+      ~params:[ Builder.buffer "A"; Builder.buffer "x"; Builder.buffer "y" ]
+      [ Builder.for_ "i" (int m)
+          [ Builder.let_ "acc" (flt 0.0);
+            Builder.for_ "p" (int k)
+              [ Builder.assign "acc" (v "acc" + (load "A" ((v "i" * int k) + v "p") * load "x" (v "p"))) ];
+            Builder.store "y" (v "i") (v "acc")
+          ]
+      ]
+  in
+  { name = "gemv";
+    cls = Matmul;
+    shapes =
+      [ sh [ ("m", 64); ("k", 64) ]; sh [ ("m", 128); ("k", 64) ]; sh [ ("m", 64); ("k", 128) ];
+        sh [ ("m", 256); ("k", 64) ]; sh [ ("m", 32); ("k", 64) ]; sh [ ("m", 64); ("k", 256) ];
+        sh [ ("m", 128); ("k", 128) ]; sh [ ("m", 256); ("k", 32) ] ];
+    buffers =
+      [ fbuf "A" (fun s -> d s "m" * d s "k"); fbuf "x" (fun s -> d s "k");
+        fout "y" (fun s -> d s "m") ];
+    serial;
+    flops = (fun s -> 2.0 *. float_of_int (d s "m" * d s "k"))
+  }
+
+let batch_gemm =
+  let serial shp =
+    let b = d shp "b" and m = d shp "m" and n = d shp "n" and k = d shp "k" in
+    let mk = Stdlib.( * ) m k and kn = Stdlib.( * ) k n and mn = Stdlib.( * ) m n in
+    let open Expr.Infix in
+    Kernel.make ~name:"batch_gemm"
+      ~params:[ Builder.buffer "A"; Builder.buffer "B"; Builder.buffer "C" ]
+      [ Builder.for_ "bi" (int b)
+          [ Builder.for_ "i" (int m)
+              [ Builder.for_ "j" (int n)
+                  [ Builder.let_ "acc" (flt 0.0);
+                    Builder.for_ "p" (int k)
+                      [ Builder.assign "acc"
+                          (v "acc"
+                          + (load "A" ((v "bi" * int mk) + (v "i" * int k) + v "p")
+                            * load "B" ((v "bi" * int kn) + (v "p" * int n) + v "j")))
+                      ];
+                    Builder.store "C"
+                      ((v "bi" * int mn) + (v "i" * int n) + v "j")
+                      (v "acc")
+                  ]
+              ]
+          ]
+      ]
+  in
+  { name = "batch_gemm";
+    cls = Matmul;
+    shapes =
+      [ sh [ ("b", 2); ("m", 8); ("n", 64); ("k", 16) ];
+        sh [ ("b", 4); ("m", 8); ("n", 32); ("k", 32) ];
+        sh [ ("b", 2); ("m", 16); ("n", 64); ("k", 16) ];
+        sh [ ("b", 4); ("m", 16); ("n", 32); ("k", 16) ];
+        sh [ ("b", 2); ("m", 32); ("n", 32); ("k", 16) ];
+        sh [ ("b", 8); ("m", 8); ("n", 32); ("k", 16) ];
+        sh [ ("b", 2); ("m", 8); ("n", 128); ("k", 16) ];
+        sh [ ("b", 4); ("m", 8); ("n", 64); ("k", 16) ] ];
+    buffers =
+      [ fbuf "A" (fun s -> d s "b" * d s "m" * d s "k");
+        fbuf "B" (fun s -> d s "b" * d s "k" * d s "n");
+        fout "C" (fun s -> d s "b" * d s "m" * d s "n") ];
+    serial;
+    flops = (fun s -> 2.0 *. float_of_int (d s "b" * d s "m" * d s "n" * d s "k"))
+  }
+
+(* ---- Convolution family ----------------------------------------------------- *)
+
+let conv1d =
+  let serial shp =
+    let n = d shp "n" and kw = d shp "kw" in
+    let open Expr.Infix in
+    Kernel.make ~name:"conv1d"
+      ~params:[ Builder.buffer "inp"; Builder.buffer "w"; Builder.buffer "out" ]
+      [ Builder.for_ "i" (int n)
+          [ Builder.let_ "acc" (flt 0.0);
+            Builder.for_ "q" (int kw)
+              [ Builder.assign "acc" (v "acc" + (load "inp" (v "i" + v "q") * load "w" (v "q"))) ];
+            Builder.store "out" (v "i") (v "acc")
+          ]
+      ]
+  in
+  { name = "conv1d";
+    cls = Convolution;
+    shapes =
+      [ sh [ ("n", 64); ("kw", 3) ]; sh [ ("n", 128); ("kw", 3) ]; sh [ ("n", 256); ("kw", 3) ];
+        sh [ ("n", 64); ("kw", 5) ]; sh [ ("n", 128); ("kw", 5) ]; sh [ ("n", 256); ("kw", 5) ];
+        sh [ ("n", 64); ("kw", 7) ]; sh [ ("n", 512); ("kw", 3) ] ];
+    buffers =
+      [ fbuf "inp" (fun s -> d s "n" + d s "kw" - 1); fbuf "w" (fun s -> d s "kw");
+        fout "out" (fun s -> d s "n") ];
+    serial;
+    flops = (fun s -> 2.0 *. float_of_int (d s "n" * d s "kw"))
+  }
+
+let conv_shapes =
+  [ sh [ ("h", 8); ("w", 8); ("ci", 8); ("co", 16) ];
+    sh [ ("h", 8); ("w", 8); ("ci", 16); ("co", 16) ];
+    sh [ ("h", 16); ("w", 16); ("ci", 8); ("co", 8) ];
+    sh [ ("h", 8); ("w", 8); ("ci", 4); ("co", 32) ];
+    sh [ ("h", 4); ("w", 4); ("ci", 16); ("co", 32) ];
+    sh [ ("h", 16); ("w", 16); ("ci", 4); ("co", 8) ];
+    sh [ ("h", 8); ("w", 16); ("ci", 8); ("co", 8) ];
+    sh [ ("h", 12); ("w", 12); ("ci", 8); ("co", 8) ] ]
+
+let conv_flops s = 2.0 *. float_of_int (d s "h" * d s "w" * d s "co" * d s "ci" * 9)
+
+let conv2d_nhwc =
+  let serial shp =
+    let h = d shp "h" and w = d shp "w" and ci = d shp "ci" and co = d shp "co" in
+    let wi = w + 2 in
+    let open Expr.Infix in
+    Kernel.make ~name:"conv2d_nhwc"
+      ~params:[ Builder.buffer "inp"; Builder.buffer "wgt"; Builder.buffer "out" ]
+      [ Builder.for_ "oh" (int h)
+          [ Builder.for_ "ow" (int w)
+              [ Builder.for_ "oc" (int co)
+                  [ Builder.let_ "acc" (flt 0.0);
+                    Builder.for_ "r" (int 3)
+                      [ Builder.for_ "q" (int 3)
+                          [ Builder.for_ "c" (int ci)
+                              [ Builder.assign "acc"
+                                  (v "acc"
+                                  + (load "inp"
+                                       ((((v "oh" + v "r") * int wi) + v "ow" + v "q") * int ci
+                                       + v "c")
+                                    * load "wgt"
+                                        ((((v "oc" * int 3) + v "r") * int 3 + v "q") * int ci
+                                        + v "c")))
+                              ]
+                          ]
+                      ];
+                    Builder.store "out" ((((v "oh" * int w) + v "ow") * int co) + v "oc") (v "acc")
+                  ]
+              ]
+          ]
+      ]
+  in
+  { name = "conv2d_nhwc";
+    cls = Convolution;
+    shapes = conv_shapes;
+    buffers =
+      [ fbuf "inp" (fun s -> (d s "h" + 2) * (d s "w" + 2) * d s "ci");
+        fbuf "wgt" (fun s -> d s "co" * 9 * d s "ci");
+        fout "out" (fun s -> d s "h" * d s "w" * d s "co") ];
+    serial;
+    flops = conv_flops
+  }
+
+let conv2d_nchw =
+  let serial shp =
+    let h = d shp "h" and w = d shp "w" and ci = d shp "ci" and co = d shp "co" in
+    let hi = h + 2 and wi = w + 2 in
+    let hw = Stdlib.( * ) hi wi and ohw = Stdlib.( * ) h w in
+    let open Expr.Infix in
+    Kernel.make ~name:"conv2d_nchw"
+      ~params:[ Builder.buffer "inp"; Builder.buffer "wgt"; Builder.buffer "out" ]
+      [ Builder.for_ "oc" (int co)
+          [ Builder.for_ "oh" (int h)
+              [ Builder.for_ "ow" (int w)
+                  [ Builder.let_ "acc" (flt 0.0);
+                    Builder.for_ "c" (int ci)
+                      [ Builder.for_ "r" (int 3)
+                          [ Builder.for_ "q" (int 3)
+                              [ Builder.assign "acc"
+                                  (v "acc"
+                                  + (load "inp"
+                                       ((v "c" * int hw)
+                                       + ((v "oh" + v "r") * int wi)
+                                       + v "ow" + v "q")
+                                    * load "wgt"
+                                        ((((v "oc" * int ci) + v "c") * int 9)
+                                        + (v "r" * int 3) + v "q")))
+                              ]
+                          ]
+                      ];
+                    Builder.store "out"
+                      ((v "oc" * int ohw) + (v "oh" * int w) + v "ow")
+                      (v "acc")
+                  ]
+              ]
+          ]
+      ]
+  in
+  { name = "conv2d_nchw";
+    cls = Convolution;
+    shapes = conv_shapes;
+    buffers =
+      [ fbuf "inp" (fun s -> d s "ci" * (d s "h" + 2) * (d s "w" + 2));
+        fbuf "wgt" (fun s -> d s "co" * d s "ci" * 9);
+        fout "out" (fun s -> d s "co" * d s "h" * d s "w") ];
+    serial;
+    flops = conv_flops
+  }
+
+let depthwise_conv =
+  let serial shp =
+    let h = d shp "h" and w = d shp "w" and c = d shp "c" in
+    let wi = w + 2 in
+    let open Expr.Infix in
+    Kernel.make ~name:"depthwise_conv"
+      ~params:[ Builder.buffer "inp"; Builder.buffer "wgt"; Builder.buffer "out" ]
+      [ Builder.for_ "oh" (int h)
+          [ Builder.for_ "ow" (int w)
+              [ Builder.for_ "c" (int c)
+                  [ Builder.let_ "acc" (flt 0.0);
+                    Builder.for_ "r" (int 3)
+                      [ Builder.for_ "q" (int 3)
+                          [ Builder.assign "acc"
+                              (v "acc"
+                              + (load "inp"
+                                   ((((v "oh" + v "r") * int wi) + v "ow" + v "q") * int c
+                                   + v "c")
+                                * load "wgt" (((v "r" * int 3) + v "q") * int c + v "c")))
+                          ]
+                      ];
+                    Builder.store "out" ((((v "oh" * int w) + v "ow") * int c) + v "c") (v "acc")
+                  ]
+              ]
+          ]
+      ]
+  in
+  { name = "depthwise_conv";
+    cls = Convolution;
+    shapes =
+      [ sh [ ("h", 16); ("w", 16); ("c", 16) ]; sh [ ("h", 8); ("w", 8); ("c", 64) ];
+        sh [ ("h", 16); ("w", 16); ("c", 32) ]; sh [ ("h", 32); ("w", 32); ("c", 8) ];
+        sh [ ("h", 8); ("w", 8); ("c", 32) ]; sh [ ("h", 16); ("w", 16); ("c", 64) ];
+        sh [ ("h", 32); ("w", 32); ("c", 4) ]; sh [ ("h", 24); ("w", 24); ("c", 8) ] ];
+    buffers =
+      [ fbuf "inp" (fun s -> (d s "h" + 2) * (d s "w" + 2) * d s "c");
+        fbuf "wgt" (fun s -> 9 * d s "c");
+        fout "out" (fun s -> d s "h" * d s "w" * d s "c") ];
+    serial;
+    flops = (fun s -> 2.0 *. float_of_int (d s "h" * d s "w" * d s "c" * 9))
+  }
+
+(* ---- Activations (simple) ---------------------------------------------------- *)
+
+let elem_shapes =
+  [ sh [ ("n", 256) ]; sh [ ("n", 512) ]; sh [ ("n", 1024) ]; sh [ ("n", 2048) ];
+    sh [ ("n", 4096) ]; sh [ ("n", 8192) ]; sh [ ("n", 320) ]; sh [ ("n", 640) ] ]
+
+let unary_op name formula flops_per_elem =
+  let serial shp =
+    let n = d shp "n" in
+    let open Expr.Infix in
+    Kernel.make ~name
+      ~params:[ Builder.buffer "inp"; Builder.buffer "out" ]
+      [ Builder.for_ "i" (int n) [ Builder.store "out" (v "i") (formula (load "inp" (v "i"))) ] ]
+  in
+  { name;
+    cls = Activation;
+    shapes = elem_shapes;
+    buffers = [ fbuf "inp" (fun s -> d s "n"); fout "out" (fun s -> d s "n") ];
+    serial;
+    flops = (fun s -> flops_per_elem *. float_of_int (d s "n"))
+  }
+
+let relu = unary_op "relu" (fun x -> Expr.Binop (Expr.Max, x, Expr.Float 0.0)) 1.0
+
+let gelu =
+  unary_op "gelu"
+    (fun x ->
+      Expr.Binop
+        ( Expr.Mul,
+          Expr.Binop (Expr.Mul, Expr.Float 0.5, x),
+          Expr.Binop
+            ( Expr.Add,
+              Expr.Float 1.0,
+              Expr.Unop (Expr.Erf, Expr.Binop (Expr.Mul, x, Expr.Float 0.7071067811865476)) ) ))
+    10.0
+
+let sigmoid =
+  unary_op "sigmoid"
+    (fun x ->
+      Expr.Binop
+        ( Expr.Div,
+          Expr.Float 1.0,
+          Expr.Binop (Expr.Add, Expr.Float 1.0, Expr.Unop (Expr.Exp, Expr.Unop (Expr.Neg, x))) ))
+    10.0
+
+(* ---- Elementwise -------------------------------------------------------------- *)
+
+let add =
+  let serial shp =
+    let n = d shp "n" in
+    let open Expr.Infix in
+    Kernel.make ~name:"add"
+      ~params:[ Builder.buffer "a"; Builder.buffer "b"; Builder.buffer "out" ]
+      [ Builder.for_ "i" (int n)
+          [ Builder.store "out" (v "i") (load "a" (v "i") + load "b" (v "i")) ]
+      ]
+  in
+  { name = "add";
+    cls = Elementwise;
+    shapes = elem_shapes;
+    buffers =
+      [ fbuf "a" (fun s -> d s "n"); fbuf "b" (fun s -> d s "n"); fout "out" (fun s -> d s "n") ];
+    serial;
+    flops = (fun s -> float_of_int (d s "n"))
+  }
+
+let sign =
+  let serial shp =
+    let n = d shp "n" in
+    let open Expr.Infix in
+    let x = load "inp" (v "i") in
+    Kernel.make ~name:"sign"
+      ~params:[ Builder.buffer "inp"; Builder.buffer "out" ]
+      [ Builder.for_ "i" (int n)
+          [ Builder.store "out" (v "i")
+              (Expr.Select
+                 ( Expr.Binop (Expr.Gt, x, Expr.Float 0.0),
+                   Expr.Float 1.0,
+                   Expr.Select
+                     (Expr.Binop (Expr.Lt, x, Expr.Float 0.0), Expr.Float (-1.0), Expr.Float 0.0)
+                 ))
+          ]
+      ]
+  in
+  { name = "sign";
+    cls = Elementwise;
+    shapes = elem_shapes;
+    buffers = [ fbuf "inp" (fun s -> d s "n"); fout "out" (fun s -> d s "n") ];
+    serial;
+    flops = (fun s -> 2.0 *. float_of_int (d s "n"))
+  }
+
+(* ---- Pooling -------------------------------------------------------------------- *)
+
+let pool_shapes =
+  [ sh [ ("h", 8); ("w", 8); ("c", 8) ]; sh [ ("h", 8); ("w", 8); ("c", 16) ];
+    sh [ ("h", 16); ("w", 16); ("c", 4) ]; sh [ ("h", 4); ("w", 4); ("c", 32) ];
+    sh [ ("h", 8); ("w", 8); ("c", 4) ]; sh [ ("h", 16); ("w", 16); ("c", 8) ];
+    sh [ ("h", 4); ("w", 8); ("c", 16) ]; sh [ ("h", 12); ("w", 12); ("c", 4) ] ]
+
+type pool_kind = Pmax | Pmin | Pavg | Psum
+
+let pool_op name kind =
+  (* 2x2 window, stride 2: (h, w, c) are output dims; input is (2h, 2w, c) *)
+  let serial shp =
+    let h = d shp "h" and w = d shp "w" and c = d shp "c" in
+    let wi = 2 * w in
+    let open Expr.Infix in
+    let in_at r q =
+      load "inp" (((((v "oh" * int 2) + r) * int wi) + (v "ow" * int 2) + q) * int c + v "ch")
+    in
+    let init =
+      match kind with Pmax | Pmin -> in_at (int 0) (int 0) | Pavg | Psum -> flt 0.0
+    in
+    let combine acc =
+      match kind with
+      | Pmax -> Expr.Binop (Expr.Max, acc, in_at (v "r") (v "q"))
+      | Pmin -> Expr.Binop (Expr.Min, acc, in_at (v "r") (v "q"))
+      | Pavg | Psum -> acc + in_at (v "r") (v "q")
+    in
+    let final acc = match kind with Pavg -> acc * flt 0.25 | Pmax | Pmin | Psum -> acc in
+    Kernel.make ~name
+      ~params:[ Builder.buffer "inp"; Builder.buffer "out" ]
+      [ Builder.for_ "oh" (int h)
+          [ Builder.for_ "ow" (int w)
+              [ Builder.for_ "ch" (int c)
+                  [ Builder.let_ "acc" init;
+                    Builder.for_ "r" (int 2)
+                      [ Builder.for_ "q" (int 2) [ Builder.assign "acc" (combine (v "acc")) ] ];
+                    Builder.store "out"
+                      ((((v "oh" * int w) + v "ow") * int c) + v "ch")
+                      (final (v "acc"))
+                  ]
+              ]
+          ]
+      ]
+  in
+  { name;
+    cls = Pooling;
+    shapes = pool_shapes;
+    buffers =
+      [ fbuf "inp" (fun s -> 4 * d s "h" * d s "w" * d s "c");
+        fout "out" (fun s -> d s "h" * d s "w" * d s "c") ];
+    serial;
+    flops = (fun s -> 4.0 *. float_of_int (d s "h" * d s "w" * d s "c"))
+  }
+
+let maxpool = pool_op "maxpool" Pmax
+let minpool = pool_op "minpool" Pmin
+let avgpool = pool_op "avgpool" Pavg
+let sumpool = pool_op "sumpool" Psum

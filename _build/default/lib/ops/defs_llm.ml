@@ -1,0 +1,256 @@
+(* LLM-class operators plus softmax: row-wise normalizations, attention, and
+   the deformable-attention failure case of the paper's §7.6. *)
+
+open Xpiler_ir
+open Opdef
+
+let d = dim
+let fbuf name size : buffer_spec = { buf_name = name; dtype = Dtype.F32; size; is_output = false }
+let fout name size : buffer_spec = { buf_name = name; dtype = Dtype.F32; size; is_output = true }
+let sh pairs = pairs
+
+let row_shapes =
+  [ sh [ ("r", 4); ("c", 64) ]; sh [ ("r", 8); ("c", 64) ]; sh [ ("r", 4); ("c", 128) ];
+    sh [ ("r", 8); ("c", 128) ]; sh [ ("r", 16); ("c", 64) ]; sh [ ("r", 2); ("c", 256) ];
+    sh [ ("r", 4); ("c", 256) ]; sh [ ("r", 32); ("c", 64) ] ]
+
+(* row-wise softmax, written as the max / subtract / exp / sum / scale loop
+   sequence a BANG C programmer would use *)
+let softmax_body ~rows ~cols ~inp ~out =
+  let open Expr.Infix in
+  let base = v "row" * int cols in
+  [ Builder.for_ "row" (int rows)
+      [ Builder.let_ "mx" (load inp base);
+        Builder.for_ "p" (int cols)
+          [ Builder.assign "mx" (Expr.Binop (Expr.Max, v "mx", load inp (base + v "p"))) ];
+        Builder.for_ "p" (int cols)
+          [ Builder.store out (base + v "p") (load inp (base + v "p") - v "mx") ];
+        Builder.for_ "p" (int cols)
+          [ Builder.store out (base + v "p") (Expr.Unop (Expr.Exp, load out (base + v "p"))) ];
+        Builder.let_ "s" (flt 0.0);
+        Builder.for_ "p" (int cols)
+          [ Builder.assign "s" (v "s" + load out (base + v "p")) ];
+        Builder.let_ "inv" (Expr.Unop (Expr.Recip, v "s"));
+        Builder.for_ "p" (int cols)
+          [ Builder.store out (base + v "p") (load out (base + v "p") * v "inv") ]
+      ]
+  ]
+
+let softmax =
+  let serial shp =
+    let r = d shp "r" and c = d shp "c" in
+    Kernel.make ~name:"softmax"
+      ~params:[ Builder.buffer "inp"; Builder.buffer "out" ]
+      (softmax_body ~rows:r ~cols:c ~inp:"inp" ~out:"out")
+  in
+  { name = "softmax";
+    cls = Activation;
+    shapes = row_shapes;
+    buffers =
+      [ fbuf "inp" (fun s -> d s "r" * d s "c"); fout "out" (fun s -> d s "r" * d s "c") ];
+    serial;
+    flops = (fun s -> 5.0 *. float_of_int (d s "r" * d s "c"))
+  }
+
+let layernorm =
+  let serial shp =
+    let r = d shp "r" and c = d shp "c" in
+    let inv_c = 1.0 /. float_of_int c in
+    let open Expr.Infix in
+    let base = v "row" * int c in
+    Kernel.make ~name:"layernorm"
+      ~params:[ Builder.buffer "inp"; Builder.buffer "out" ]
+      [ Builder.alloc "tmp" Scope.Local c;
+        Builder.for_ "row" (int r)
+          [ Builder.let_ "s" (flt 0.0);
+            Builder.for_ "p" (int c) [ Builder.assign "s" (v "s" + load "inp" (base + v "p")) ];
+            Builder.let_ "mean" (v "s" * flt inv_c);
+            Builder.for_ "p" (int c)
+              [ Builder.store "tmp" (v "p") (load "inp" (base + v "p") - v "mean") ];
+            Builder.for_ "p" (int c)
+              [ Builder.store "tmp" (v "p") (load "tmp" (v "p") * load "tmp" (v "p")) ];
+            Builder.let_ "var" (flt 0.0);
+            Builder.for_ "p" (int c) [ Builder.assign "var" (v "var" + load "tmp" (v "p")) ];
+            Builder.let_ "rstd"
+              (Expr.Unop (Expr.Rsqrt, (v "var" * flt inv_c) + flt 1e-5));
+            Builder.for_ "p" (int c)
+              [ Builder.store "out" (base + v "p") (load "inp" (base + v "p") - v "mean") ];
+            Builder.for_ "p" (int c)
+              [ Builder.store "out" (base + v "p") (load "out" (base + v "p") * v "rstd") ]
+          ]
+      ]
+  in
+  { name = "layernorm";
+    cls = Llm;
+    shapes = row_shapes;
+    buffers =
+      [ fbuf "inp" (fun s -> d s "r" * d s "c"); fout "out" (fun s -> d s "r" * d s "c") ];
+    serial;
+    flops = (fun s -> 7.0 *. float_of_int (d s "r" * d s "c"))
+  }
+
+let rmsnorm =
+  let serial shp =
+    let r = d shp "r" and c = d shp "c" in
+    let inv_c = 1.0 /. float_of_int c in
+    let open Expr.Infix in
+    let base = v "row" * int c in
+    Kernel.make ~name:"rmsnorm"
+      ~params:[ Builder.buffer "inp"; Builder.buffer "out" ]
+      [ Builder.alloc "tmp" Scope.Local c;
+        Builder.for_ "row" (int r)
+          [ Builder.for_ "p" (int c)
+              [ Builder.store "tmp" (v "p") (load "inp" (base + v "p") * load "inp" (base + v "p"))
+              ];
+            Builder.let_ "s" (flt 0.0);
+            Builder.for_ "p" (int c) [ Builder.assign "s" (v "s" + load "tmp" (v "p")) ];
+            Builder.let_ "scale" (Expr.Unop (Expr.Rsqrt, (v "s" * flt inv_c) + flt 1e-5));
+            Builder.for_ "p" (int c)
+              [ Builder.store "out" (base + v "p") (load "inp" (base + v "p") * v "scale") ]
+          ]
+      ]
+  in
+  { name = "rmsnorm";
+    cls = Llm;
+    shapes = row_shapes;
+    buffers =
+      [ fbuf "inp" (fun s -> d s "r" * d s "c"); fout "out" (fun s -> d s "r" * d s "c") ];
+    serial;
+    flops = (fun s -> 4.0 *. float_of_int (d s "r" * d s "c"))
+  }
+
+let self_attention =
+  (* single-head attention: scores = Q K^T / sqrt(D), row softmax, out = P V *)
+  let serial shp =
+    let s = d shp "s" and dm = d shp "d" in
+    let inv_sqrt_d = 1.0 /. sqrt (float_of_int dm) in
+    let open Expr.Infix in
+    Kernel.make ~name:"self_attention"
+      ~params:
+        [ Builder.buffer "Q"; Builder.buffer "K"; Builder.buffer "V"; Builder.buffer "out" ]
+      [ Builder.alloc "scores" Scope.Local s;
+        Builder.for_ "i" (int s)
+          [ Builder.for_ "j" (int s)
+              [ Builder.let_ "acc" (flt 0.0);
+                Builder.for_ "p" (int dm)
+                  [ Builder.assign "acc"
+                      (v "acc"
+                      + (load "Q" ((v "i" * int dm) + v "p") * load "K" ((v "j" * int dm) + v "p")))
+                  ];
+                Builder.store "scores" (v "j") (v "acc" * flt inv_sqrt_d)
+              ];
+            (* softmax over scores[0..s) *)
+            Builder.let_ "mx" (load "scores" (int 0));
+            Builder.for_ "p" (int s)
+              [ Builder.assign "mx" (Expr.Binop (Expr.Max, v "mx", load "scores" (v "p"))) ];
+            Builder.for_ "p" (int s)
+              [ Builder.store "scores" (v "p") (load "scores" (v "p") - v "mx") ];
+            Builder.for_ "p" (int s)
+              [ Builder.store "scores" (v "p") (Expr.Unop (Expr.Exp, load "scores" (v "p"))) ];
+            Builder.let_ "sum" (flt 0.0);
+            Builder.for_ "p" (int s) [ Builder.assign "sum" (v "sum" + load "scores" (v "p")) ];
+            Builder.let_ "inv" (Expr.Unop (Expr.Recip, v "sum"));
+            Builder.for_ "p" (int s)
+              [ Builder.store "scores" (v "p") (load "scores" (v "p") * v "inv") ];
+            (* weighted sum of V rows *)
+            Builder.for_ "p" (int dm)
+              [ Builder.let_ "acc" (flt 0.0);
+                Builder.for_ "j" (int s)
+                  [ Builder.assign "acc"
+                      (v "acc" + (load "scores" (v "j") * load "V" ((v "j" * int dm) + v "p")))
+                  ];
+                Builder.store "out" ((v "i" * int dm) + v "p") (v "acc")
+              ]
+          ]
+      ]
+  in
+  { name = "self_attention";
+    cls = Llm;
+    shapes =
+      [ sh [ ("s", 64); ("d", 32) ]; sh [ ("s", 64); ("d", 64) ]; sh [ ("s", 128); ("d", 32) ];
+        sh [ ("s", 128); ("d", 64) ]; sh [ ("s", 64); ("d", 16) ]; sh [ ("s", 128); ("d", 16) ];
+        sh [ ("s", 64); ("d", 48) ]; sh [ ("s", 128); ("d", 48) ] ];
+    buffers =
+      [ fbuf "Q" (fun s -> d s "s" * d s "d"); fbuf "K" (fun s -> d s "s" * d s "d");
+        fbuf "V" (fun s -> d s "s" * d s "d"); fout "out" (fun s -> d s "s" * d s "d") ];
+    serial;
+    flops =
+      (fun s ->
+        let n = float_of_int (d s "s") and dm = float_of_int (d s "d") in
+        (2.0 *. n *. n *. dm) +. (5.0 *. n *. n) +. (2.0 *. n *. n *. dm))
+  }
+
+let deformable_attention =
+  (* bilinear sampling with data-dependent locations and the boundary
+     conditionals of Figure 9 — the paper's hardest operator *)
+  let serial shp =
+    let q = d shp "q" and p = d shp "p" and h = d shp "h" and w = d shp "w" and c = d shp "c" in
+    let wf = float_of_int (Stdlib.( - ) w 1) and hf = float_of_int (Stdlib.( - ) h 1) in
+    let open Expr.Infix in
+    let in_range lo_incl e hi =
+      Expr.Binop
+        ( Expr.And,
+          Expr.Binop (Expr.Ge, e, int lo_incl),
+          Expr.Binop (Expr.Lt, e, int hi) )
+    in
+    let corner name xi yi weight =
+      Builder.if_
+        (Expr.Binop (Expr.And, in_range 0 xi w, in_range 0 yi h))
+        [ Builder.for_ name (int c)
+            [ Builder.store "out"
+                ((v "qi" * int c) + v name)
+                (load "out" ((v "qi" * int c) + v name)
+                + (load "value" ((((yi * int w) + xi) * int c) + v name) * weight))
+            ]
+        ]
+    in
+    Kernel.make ~name:"deformable_attention"
+      ~params:
+        [ Builder.buffer "value"; Builder.buffer "loc"; Builder.buffer "attn";
+          Builder.buffer "out" ]
+      [ Builder.for_ "qi" (int q)
+          [ Builder.for_ "cz" (int c)
+              [ Builder.store "out" ((v "qi" * int c) + v "cz") (flt 0.0) ];
+            Builder.for_ "pt" (int p)
+              [ Builder.let_ "x" (load "loc" (((v "qi" * int p) + v "pt") * int 2) * flt wf);
+                Builder.let_ "y"
+                  (load "loc" ((((v "qi" * int p) + v "pt") * int 2) + int 1)
+                  * flt hf);
+                Builder.let_ "x0f" (Expr.Unop (Expr.Floor, v "x"));
+                Builder.let_ "y0f" (Expr.Unop (Expr.Floor, v "y"));
+                Builder.let_ "x0" (Expr.Cast (Dtype.I32, v "x0f"));
+                Builder.let_ "y0" (Expr.Cast (Dtype.I32, v "y0f"));
+                Builder.let_ "dx" (v "x" - v "x0f");
+                Builder.let_ "dy" (v "y" - v "y0f");
+                Builder.let_ "aw" (load "attn" ((v "qi" * int p) + v "pt"));
+                corner "c0" (v "x0") (v "y0")
+                  ((flt 1.0 - v "dx") * (flt 1.0 - v "dy") * v "aw");
+                corner "c1" (v "x0" + int 1) (v "y0")
+                  (v "dx" * (flt 1.0 - v "dy") * v "aw");
+                corner "c2" (v "x0") (v "y0" + int 1)
+                  ((flt 1.0 - v "dx") * v "dy" * v "aw");
+                corner "c3" (v "x0" + int 1) (v "y0" + int 1)
+                  (v "dx" * v "dy" * v "aw")
+              ]
+          ]
+      ]
+  in
+  { name = "deformable_attention";
+    cls = Llm;
+    shapes =
+      [ sh [ ("q", 8); ("p", 4); ("h", 8); ("w", 8); ("c", 8) ];
+        sh [ ("q", 16); ("p", 4); ("h", 8); ("w", 8); ("c", 8) ];
+        sh [ ("q", 8); ("p", 4); ("h", 16); ("w", 16); ("c", 8) ];
+        sh [ ("q", 16); ("p", 4); ("h", 16); ("w", 16); ("c", 4) ];
+        sh [ ("q", 32); ("p", 4); ("h", 8); ("w", 8); ("c", 4) ];
+        sh [ ("q", 8); ("p", 4); ("h", 8); ("w", 8); ("c", 16) ];
+        sh [ ("q", 16); ("p", 4); ("h", 8); ("w", 8); ("c", 4) ];
+        sh [ ("q", 8); ("p", 8); ("h", 16); ("w", 16); ("c", 4) ] ];
+    buffers =
+      [ fbuf "value" (fun s -> d s "h" * d s "w" * d s "c");
+        fbuf "loc" (fun s -> d s "q" * d s "p" * 2);
+        fbuf "attn" (fun s -> d s "q" * d s "p");
+        fout "out" (fun s -> d s "q" * d s "c") ];
+    serial;
+    flops = (fun s -> 8.0 *. float_of_int (d s "q" * d s "p" * d s "c"))
+  }

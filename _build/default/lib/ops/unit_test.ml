@@ -1,0 +1,65 @@
+open Xpiler_machine
+
+type verdict = Pass | Fail of string
+
+let make_args rng (op : Opdef.t) shape =
+  List.map
+    (fun (b : Opdef.buffer_spec) ->
+      let size = b.size shape in
+      let t =
+        if b.is_output then Tensor.create ~dtype:b.dtype size
+        else Tensor.random rng ~dtype:b.dtype size
+      in
+      (b.buf_name, Interp.Buf t))
+    op.buffers
+
+let clone args =
+  List.map
+    (fun (n, a) ->
+      match a with Interp.Buf t -> (n, Interp.Buf (Tensor.copy t)) | s -> (n, s))
+    args
+
+let out_tensors (op : Opdef.t) args =
+  List.filter_map
+    (fun (b : Opdef.buffer_spec) ->
+      if b.is_output then
+        match List.assoc_opt b.buf_name args with
+        | Some (Interp.Buf t) -> Some (b.buf_name, t)
+        | _ -> None
+      else None)
+    op.buffers
+
+let reference_outputs rng op shape =
+  let args = make_args rng op shape in
+  let ref_args = clone args in
+  let _ = Interp.run (op.serial shape) ref_args in
+  (args, out_tensors op ref_args)
+
+let check ?(trials = 2) ?(seed = 20250706) (op : Opdef.t) shape kernel =
+  let rec trial i =
+    if i >= trials then Pass
+    else begin
+      let rng = Xpiler_util.Rng.create (seed + (i * 7919)) in
+      let args, expected = reference_outputs rng op shape in
+      match Interp.run kernel args with
+      | exception Interp.Runtime_error m -> Fail ("runtime error: " ^ m)
+      | _ -> (
+        let outs = out_tensors op args in
+        let bad =
+          List.find_opt
+            (fun (name, t) ->
+              match List.assoc_opt name expected with
+              | Some e -> not (Tensor.allclose ~rtol:1e-3 ~atol:1e-4 t e)
+              | None -> true)
+            outs
+        in
+        match bad with
+        | Some (name, t) ->
+          let e = List.assoc name expected in
+          Fail
+            (Printf.sprintf "output %s diverges (max abs diff %.3g)" name
+               (Tensor.max_abs_diff t e))
+        | None -> trial (i + 1))
+    end
+  in
+  trial 0

@@ -1,0 +1,21 @@
+open Xpiler_ir
+open Xpiler_machine
+
+(** Unit-test oracle: run a candidate kernel against the operator's canonical
+    sequential reference on random inputs (the paper's *computation accuracy*
+    check). *)
+
+type verdict = Pass | Fail of string
+
+val make_args :
+  Xpiler_util.Rng.t -> Opdef.t -> Opdef.shape -> (string * Interp.arg) list
+(** Random inputs, zero-filled outputs, ordered as the kernel's parameters. *)
+
+val reference_outputs :
+  Xpiler_util.Rng.t -> Opdef.t -> Opdef.shape -> (string * Interp.arg) list * (string * Tensor.t) list
+(** Inputs plus the outputs the serial reference produces on them. *)
+
+val check : ?trials:int -> ?seed:int -> Opdef.t -> Opdef.shape -> Kernel.t -> verdict
+(** Execute the candidate on [trials] fresh random input sets (default 2) and
+    compare every output buffer to the reference. Runtime errors (out of
+    bounds, unbound names, fuel) are failures. *)

@@ -1,0 +1,1 @@
+lib/passes/loop_pass.ml: Axis Expr Hashtbl Kernel Linear List Printf Rewrite Stmt String Xpiler_ir

@@ -1,0 +1,1 @@
+lib/passes/loop_pass.mli: Axis Kernel Xpiler_ir

@@ -1,0 +1,1 @@
+lib/passes/memory_pass.ml: Expr Intrin Kernel Linear List Loop_pass Printf Rewrite Scope Stmt String Xpiler_ir

@@ -1,0 +1,1 @@
+lib/passes/memory_pass.mli: Expr Kernel Scope Xpiler_ir

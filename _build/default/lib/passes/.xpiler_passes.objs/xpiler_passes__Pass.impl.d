@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Axis Expr Kernel Loop_pass Memory_pass Option Printf Result Scope Stmt Tensor_pass Xpiler_ir

@@ -1,0 +1,1 @@
+lib/passes/pass.mli: Axis Expr Kernel Memory_pass Platform Scope Xpiler_ir Xpiler_machine

@@ -1,0 +1,1 @@
+lib/passes/rewrite.ml: Expr Kernel List Printf Stmt String Xpiler_ir

@@ -1,0 +1,1 @@
+lib/passes/rewrite.mli: Dtype Expr Kernel Stmt Xpiler_ir

@@ -1,0 +1,1 @@
+lib/passes/tensor_pass.ml: Checker Dtype Expr Intrin Kernel Linear List Option Platform Printf Rewrite Scope Stmt String Xpiler_ir Xpiler_machine

@@ -1,0 +1,1 @@
+lib/passes/tensor_pass.mli: Kernel Platform Xpiler_ir Xpiler_machine

@@ -1,0 +1,39 @@
+open Xpiler_ir
+
+(** Sequentialization / parallelization passes (Table 4, category 1). *)
+
+exception Failed of string
+(** Internal control flow of the passes; every public function catches it and
+    returns [Error] instead. *)
+
+val recovery : Kernel.t -> (Kernel.t, string) result
+(** Convert every parallel loop into ordinary sequential loops ("from CUDA C
+    to C"). Barrier regions are handled by lockstep-preserving fission: a
+    thread loop whose body contains [Sync]s is split at each barrier into
+    consecutive loops; a barrier nested inside a serial sub-loop is reached
+    by first interchanging the thread loop inside it. The launch
+    configuration is cleared and axis variables get plain serial names. *)
+
+val bind : var:string -> axis:Axis.t -> Kernel.t -> (Kernel.t, string) result
+(** Bind a sequential loop to a parallel built-in; the loop variable is
+    renamed to the axis name and the launch configuration is extended. *)
+
+val split : var:string -> factor:int -> Kernel.t -> (Kernel.t, string) result
+(** [for v in E] becomes [for v_0 in E/f { for v_1 in f }]; a bounds guard is
+    inserted when [f] does not divide [E]. *)
+
+val fuse : var:string -> Kernel.t -> (Kernel.t, string) result
+(** Merge the perfect nest [for v { for w }] into one loop over [E_v * E_w]
+    (the paper's hyper-loop). *)
+
+val reorder : var:string -> Kernel.t -> (Kernel.t, string) result
+(** Interchange [for v { for w }] to [for w { for v }]; the nest must be
+    perfect. *)
+
+val expansion : var:string -> Kernel.t -> (Kernel.t, string) result
+(** Loop fission: distribute the loop over its body's statement groups (each
+    group is one writing statement plus the scalar definitions before it). *)
+
+val contraction : var:string -> Kernel.t -> (Kernel.t, string) result
+(** Merge consecutive loops with identical headers named [var] back into a
+    single loop (producer folded into the consumer's body). *)

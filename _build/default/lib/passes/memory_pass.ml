@@ -1,0 +1,218 @@
+open Xpiler_ir
+
+type direction = Read | Write | Readwrite
+
+let retarget_loads ~buf ~cache_buf ~base block =
+  Stmt.map_block
+    (fun stmt ->
+      Some
+        (Stmt.map_exprs
+           (Expr.map (function
+             | Expr.Load (b, idx) when String.equal b buf ->
+               Some
+                 (Expr.Load
+                    (cache_buf, Linear.normalize (Expr.Binop (Expr.Sub, idx, base))))
+             | _ -> None))
+           stmt))
+    block
+
+let retarget_stores ~buf ~cache_buf ~base block =
+  Stmt.map_block
+    (fun stmt ->
+      match stmt with
+      | Stmt.Store r when String.equal r.buf buf ->
+        Some
+          (Stmt.Store
+             { r with
+               buf = cache_buf;
+               index = Linear.normalize (Expr.Binop (Expr.Sub, r.index, base))
+             })
+      | s -> Some s)
+    block
+
+let cache ~buf ~scope ~direction ?under ~base ~size (k : Kernel.t) =
+  if size <= 0 then Error "cache window must have positive size"
+  else begin
+    match Rewrite.buffer_dtype k buf with
+    | None -> Error (Printf.sprintf "unknown buffer %s" buf)
+    | Some dtype ->
+      let cache_buf = Printf.sprintf "%s_%s" buf (Scope.to_string scope) in
+      let stage region =
+        let alloc = Stmt.Alloc { buf = cache_buf; scope; dtype; size } in
+        match direction with
+        | Read ->
+          let copy_in =
+            Stmt.Memcpy
+              { dst = { buf = cache_buf; offset = Expr.Int 0 };
+                src = { buf; offset = base };
+                len = Expr.Int size
+              }
+          in
+          alloc :: copy_in :: retarget_loads ~buf ~cache_buf ~base region
+        | Write ->
+          let copy_out =
+            Stmt.Memcpy
+              { dst = { buf; offset = base };
+                src = { buf = cache_buf; offset = Expr.Int 0 };
+                len = Expr.Int size
+              }
+          in
+          (alloc :: retarget_stores ~buf ~cache_buf ~base region) @ [ copy_out ]
+        | Readwrite ->
+          let copy_in =
+            Stmt.Memcpy
+              { dst = { buf = cache_buf; offset = Expr.Int 0 };
+                src = { buf; offset = base };
+                len = Expr.Int size
+              }
+          in
+          let copy_out =
+            Stmt.Memcpy
+              { dst = { buf; offset = base };
+                src = { buf = cache_buf; offset = Expr.Int 0 };
+                len = Expr.Int size
+              }
+          in
+          (alloc :: copy_in
+          :: retarget_stores ~buf ~cache_buf ~base (retarget_loads ~buf ~cache_buf ~base region))
+          @ [ copy_out ]
+      in
+      match under with
+      | None -> Ok (Kernel.with_body k (stage k.Kernel.body))
+      | Some loop_var -> (
+        let rewritten =
+          Rewrite.rewrite_loop loop_var
+            (fun ~var ~lo ~extent ~kind ~body ->
+              [ Stmt.For { var; lo; extent; kind; body = stage body } ])
+            k.Kernel.body
+        in
+        match rewritten with
+        | Some body -> Ok (Kernel.with_body k body)
+        | None -> Error (Printf.sprintf "no loop named %s" loop_var))
+  end
+
+let rescope ~buf ~scope (k : Kernel.t) =
+  let changed = ref false in
+  let body =
+    Stmt.map_block
+      (fun stmt ->
+        match stmt with
+        | Stmt.Alloc r when String.equal r.buf buf ->
+          changed := true;
+          Some (Stmt.Alloc { r with scope })
+        | s -> Some s)
+      k.Kernel.body
+  in
+  if !changed then Ok (Kernel.with_body k body)
+  else Error (Printf.sprintf "no allocation of %s to rescope" buf)
+
+(* inverse of cache: drop the staging buffer, redirect accesses to origin *)
+let decache ~buf (k : Kernel.t) =
+  (* locate the single whole-window copies in/out of [buf] *)
+  let copy_in = ref None and copy_out = ref None and extra_copies = ref false in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Memcpy { dst; src; _ } when String.equal dst.buf buf ->
+        if !copy_in = None && Expr.equal (Expr.simplify dst.offset) (Expr.Int 0) then
+          copy_in := Some src
+        else extra_copies := true
+      | Stmt.Memcpy { dst; src; _ } when String.equal src.buf buf ->
+        if !copy_out = None && Expr.equal (Expr.simplify src.offset) (Expr.Int 0) then
+          copy_out := Some dst
+        else extra_copies := true
+      | _ -> ())
+    k.Kernel.body;
+  let has_alloc =
+    List.exists (fun (b, _, _, _) -> String.equal b buf) (Stmt.allocs k.Kernel.body)
+  in
+  if not has_alloc then Error (Printf.sprintf "no allocation of %s" buf)
+  else if !extra_copies then Error (Printf.sprintf "%s is not single-window staged" buf)
+  else begin
+    let origin =
+      match (!copy_in, !copy_out) with
+      | Some (r : Intrin.buf_ref), _ | None, Some r -> Some r
+      | None, None -> None
+    in
+    match origin with
+    | None -> Error (Printf.sprintf "%s has no staging copies" buf)
+    | Some origin ->
+      let consistent =
+        match (!copy_in, !copy_out) with
+        | Some (a : Intrin.buf_ref), Some (b : Intrin.buf_ref) ->
+          String.equal a.buf b.buf && Expr.equal a.offset b.offset
+        | _ -> true
+      in
+      if not consistent then Error (Printf.sprintf "%s staged from two windows" buf)
+      else begin
+        let redirect_idx idx =
+          Linear.normalize (Expr.Binop (Expr.Add, idx, origin.offset))
+        in
+        let body =
+          k.Kernel.body
+          |> Stmt.map_block (fun s ->
+                 match s with
+                 | Stmt.Alloc r when String.equal r.buf buf -> Some (Stmt.Annot { key = "decached"; value = buf })
+                 | Stmt.Memcpy { dst; src; _ }
+                   when String.equal dst.buf buf || String.equal src.buf buf ->
+                   Some (Stmt.Annot { key = "decached-copy"; value = buf })
+                 | Stmt.Store r when String.equal r.buf buf ->
+                   Some (Stmt.Store { r with buf = origin.buf; index = redirect_idx r.index })
+                 | s -> Some s)
+          |> Stmt.map_block (fun s ->
+                 Some
+                   (Stmt.map_exprs
+                      (Expr.map (function
+                        | Expr.Load (b, idx) when String.equal b buf ->
+                          Some (Expr.Load (origin.buf, redirect_idx idx))
+                        | _ -> None))
+                      s))
+          (* intrinsic operand references *)
+          |> Stmt.map_block (fun s ->
+                 match s with
+                 | Stmt.Intrinsic i ->
+                   let fix (r : Intrin.buf_ref) =
+                     if String.equal r.buf buf then
+                       { Intrin.buf = origin.buf; offset = redirect_idx r.offset }
+                     else r
+                   in
+                   Some (Stmt.Intrinsic { i with dst = fix i.dst; srcs = List.map fix i.srcs })
+                 | s -> Some s)
+        in
+        (* strip the placeholder markers left where the staging used to be *)
+        let rec clean block =
+          List.concat_map
+            (fun s ->
+              match s with
+              | Stmt.Annot { key = "decached" | "decached-copy"; _ } -> []
+              | Stmt.For r -> [ Stmt.For { r with body = clean r.body } ]
+              | Stmt.If r -> [ Stmt.If { r with then_ = clean r.then_; else_ = clean r.else_ } ]
+              | s -> [ s ])
+            block
+        in
+        Ok (Kernel.with_body k (clean body))
+      end
+  end
+
+let pipeline ~var (k : Kernel.t) =
+  match
+    Rewrite.rewrite_loop var
+      (fun ~var ~lo ~extent ~kind:_ ~body ->
+        let has_copy =
+          List.exists (function Stmt.Memcpy _ -> true | _ -> false) body
+        in
+        let has_compute =
+          List.exists
+            (function Stmt.Memcpy _ | Stmt.Annot _ -> false | _ -> true)
+            body
+        in
+        if not (has_copy && has_compute) then
+          raise
+            (Loop_pass.Failed
+               (Printf.sprintf "loop %s has no copy/compute overlap to pipeline" var));
+        [ Stmt.For { var; lo; extent; kind = Stmt.Pipelined; body } ])
+      k.Kernel.body
+  with
+  | Some body -> Ok (Kernel.with_body k body)
+  | None -> Error (Printf.sprintf "no loop named %s" var)
+  | exception Loop_pass.Failed m -> Error m

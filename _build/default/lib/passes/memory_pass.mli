@@ -1,0 +1,40 @@
+open Xpiler_ir
+
+(** Memory-conversion passes (Table 4, category 2). *)
+
+type direction = Read | Write | Readwrite
+(** [Read] stages a window of the buffer on-chip before the region uses it;
+    [Write] redirects the region's stores into an on-chip buffer and copies
+    it back afterwards; [Readwrite] does both (copy in, redirect loads and
+    stores, copy out) for buffers the region reads and mutates. *)
+
+val cache :
+  buf:string ->
+  scope:Scope.t ->
+  direction:direction ->
+  ?under:string ->
+  base:Expr.t ->
+  size:int ->
+  Kernel.t ->
+  (Kernel.t, string) result
+(** Stage the window [base, base+size) of [buf] into a fresh on-chip buffer
+    in [scope]. [under] names the loop whose body is the cached region
+    (default: the whole kernel body); accesses to [buf] inside the region are
+    retargeted with the base offset subtracted (linear-normalized). *)
+
+val rescope : buf:string -> scope:Scope.t -> Kernel.t -> (Kernel.t, string) result
+(** Move an existing allocation to a different memory scope — the
+    memory-hierarchy adaptation used when retargeting platforms (e.g.
+    __shared__ -> __nram__). *)
+
+val decache : buf:string -> Kernel.t -> (Kernel.t, string) result
+(** Inverse of [cache]: remove the staged buffer's allocation and its
+    whole-window copies, redirecting accesses back to the origin buffer at
+    the copy's offset. Used when retargeting removes source-platform staging
+    before the target pipeline re-stages. Fails when the buffer's copies do
+    not form the single-window staging pattern. *)
+
+val pipeline : var:string -> Kernel.t -> (Kernel.t, string) result
+(** Software-pipeline a loop (double buffering of its data movement against
+    its compute); requires the loop body to contain both a copy and
+    computation to overlap. *)

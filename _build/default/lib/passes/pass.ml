@@ -1,0 +1,83 @@
+open Xpiler_ir
+
+type spec =
+  | Loop_recovery
+  | Loop_bind of { var : string; axis : Axis.t }
+  | Loop_split of { var : string; factor : int }
+  | Loop_fuse of { var : string }
+  | Loop_reorder of { var : string }
+  | Loop_expansion of { var : string }
+  | Loop_contraction of { var : string }
+  | Cache of {
+      buf : string;
+      scope : Scope.t;
+      direction : Memory_pass.direction;
+      under : string option;
+      base : Expr.t;
+      size : int;
+    }
+  | Rescope of { buf : string; scope : Scope.t }
+  | Decache of { buf : string }
+  | Pipeline of { var : string }
+  | Tensorize
+  | Detensorize
+
+let name = function
+  | Loop_recovery -> "loop-recovery"
+  | Loop_bind _ -> "loop-bind"
+  | Loop_split _ -> "loop-split"
+  | Loop_fuse _ -> "loop-fuse"
+  | Loop_reorder _ -> "loop-reorder"
+  | Loop_expansion _ -> "loop-expansion"
+  | Loop_contraction _ -> "loop-contraction"
+  | Cache _ | Rescope _ | Decache _ -> "cache"
+  | Pipeline _ -> "pipeline"
+  | Tensorize -> "tensorize"
+  | Detensorize -> "detensorize"
+
+let family_names =
+  [ "loop-recovery"; "loop-bind"; "loop-split"; "loop-fuse"; "loop-reorder";
+    "loop-expansion"; "loop-contraction"; "cache"; "pipeline"; "tensorize"; "detensorize" ]
+
+let describe = function
+  | Loop_recovery -> "loop-recovery"
+  | Loop_bind { var; axis } -> Printf.sprintf "loop-bind(%s -> %s)" var (Axis.to_string axis)
+  | Loop_split { var; factor } -> Printf.sprintf "loop-split(%s, %d)" var factor
+  | Loop_fuse { var } -> Printf.sprintf "loop-fuse(%s)" var
+  | Loop_reorder { var } -> Printf.sprintf "loop-reorder(%s)" var
+  | Loop_expansion { var } -> Printf.sprintf "loop-expansion(%s)" var
+  | Loop_contraction { var } -> Printf.sprintf "loop-contraction(%s)" var
+  | Cache { buf; scope; direction; under; base; size } ->
+    Printf.sprintf "cache(%s -> %s, %s, under=%s, base=%s, size=%d)" buf
+      (Scope.to_string scope)
+      (match direction with
+      | Memory_pass.Read -> "read"
+      | Memory_pass.Write -> "write"
+      | Memory_pass.Readwrite -> "readwrite")
+      (Option.value ~default:"-" under)
+      (Expr.to_string base) size
+  | Rescope { buf; scope } -> Printf.sprintf "cache-rescope(%s -> %s)" buf (Scope.to_string scope)
+  | Decache { buf } -> Printf.sprintf "cache-remove(%s)" buf
+  | Pipeline { var } -> Printf.sprintf "pipeline(%s)" var
+  | Tensorize -> "tensorize"
+  | Detensorize -> "detensorize"
+
+let apply ~platform spec k =
+  let result =
+    match spec with
+    | Loop_recovery -> Loop_pass.recovery k
+    | Loop_bind { var; axis } -> Loop_pass.bind ~var ~axis k
+    | Loop_split { var; factor } -> Loop_pass.split ~var ~factor k
+    | Loop_fuse { var } -> Loop_pass.fuse ~var k
+    | Loop_reorder { var } -> Loop_pass.reorder ~var k
+    | Loop_expansion { var } -> Loop_pass.expansion ~var k
+    | Loop_contraction { var } -> Loop_pass.contraction ~var k
+    | Cache { buf; scope; direction; under; base; size } ->
+      Memory_pass.cache ~buf ~scope ~direction ?under ~base ~size k
+    | Rescope { buf; scope } -> Memory_pass.rescope ~buf ~scope k
+    | Decache { buf } -> Memory_pass.decache ~buf k
+    | Pipeline { var } -> Memory_pass.pipeline ~var k
+    | Tensorize -> Tensor_pass.tensorize ~platform k
+    | Detensorize -> Tensor_pass.detensorize k
+  in
+  Result.map (Kernel.map_body Stmt.simplify) result

@@ -1,0 +1,42 @@
+open Xpiler_ir
+open Xpiler_machine
+
+(** The transformation-pass vocabulary (paper Table 4) with a uniform
+    apply interface. Each spec is one parameterized application of a pass;
+    the auto-tuner's action space and the neural oracle's ground truth are
+    both built from these. *)
+
+type spec =
+  | Loop_recovery
+  | Loop_bind of { var : string; axis : Axis.t }
+  | Loop_split of { var : string; factor : int }
+  | Loop_fuse of { var : string }
+  | Loop_reorder of { var : string }
+  | Loop_expansion of { var : string }
+  | Loop_contraction of { var : string }
+  | Cache of {
+      buf : string;
+      scope : Scope.t;
+      direction : Memory_pass.direction;
+      under : string option;
+      base : Expr.t;
+      size : int;
+    }
+  | Rescope of { buf : string; scope : Scope.t }
+  | Decache of { buf : string }
+  | Pipeline of { var : string }
+  | Tensorize
+  | Detensorize
+
+val name : spec -> string
+(** The pass family name as in Table 4 (parameters omitted). *)
+
+val describe : spec -> string
+(** Full description including parameters. *)
+
+val apply : platform:Platform.t -> spec -> Kernel.t -> (Kernel.t, string) result
+(** [platform] is the *target* platform (used by tensorize and as context
+    for legality). The result is simplified before being returned. *)
+
+val family_names : string list
+(** The 11 pass families of Table 4 (rescope folded under Cache). *)

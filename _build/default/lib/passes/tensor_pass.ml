@@ -1,0 +1,771 @@
+open Xpiler_ir
+open Xpiler_machine
+
+(* ---- pattern matching helpers ------------------------------------------- *)
+
+(* index affine in [v] with unit stride: returns the base *)
+let unit_affine v e =
+  match Linear.match_affine v e with
+  | Some (1, base) -> Some base
+  | _ -> None
+
+let coeffs vars e =
+  let d = Linear.decompose e in
+  let cs = List.map (fun v -> Linear.coeff_of_var v d) vars in
+  let base = Linear.recompose (List.fold_left (fun d v -> Linear.drop_var v d) d vars) in
+  if List.for_all (fun v -> Linear.independent_of v base) vars then Some (cs, base)
+  else None
+
+let binop_vec_op = function
+  | Expr.Add -> Some Intrin.Vec_add
+  | Expr.Sub -> Some Intrin.Vec_sub
+  | Expr.Mul -> Some Intrin.Vec_mul
+  | Expr.Max -> Some Intrin.Vec_max
+  | Expr.Min -> Some Intrin.Vec_min
+  | _ -> None
+
+let unop_vec_op = function
+  | Expr.Exp -> Some Intrin.Vec_exp
+  | Expr.Log -> Some Intrin.Vec_log
+  | Expr.Sqrt -> Some Intrin.Vec_sqrt
+  | Expr.Recip -> Some Intrin.Vec_recip
+  | Expr.Tanh -> Some Intrin.Vec_tanh
+  | Expr.Erf -> Some Intrin.Vec_erf
+  | _ -> None
+
+type ctx = {
+  platform : Platform.t;
+  scope_of : string -> Scope.t;
+  mutable replaced : int;
+  mutable tmp_counter : int;
+}
+
+let supported ctx op = List.mem op ctx.platform.Platform.intrinsics
+
+(* operands must already sit in the memory spaces the intrinsic requires
+   (staging is the cache pass's job, not ours) *)
+let scopes_ok ctx op ~dst ~srcs =
+  let pid = ctx.platform.Platform.id in
+  let acceptable s req =
+    Scope.equal s req
+    || pid = Platform.Vnni
+       && List.mem s [ Scope.Host; Scope.Local ]
+       && List.mem req [ Scope.Host; Scope.Local ]
+  in
+  let dst_req, src_req = Platform.intrinsic_scope_rule pid op in
+  acceptable (ctx.scope_of dst) dst_req
+  && List.for_all2
+       (fun b req -> acceptable (ctx.scope_of b) req)
+       srcs
+       (List.filteri (fun i _ -> i < List.length srcs)
+          (src_req @ List.init (max 0 (List.length srcs - List.length src_req)) (fun _ -> dst_req)))
+
+let aligned ctx n = n > 0 && n mod ctx.platform.Platform.vector_align = 0
+
+let fresh_tmp ctx prefix =
+  ctx.tmp_counter <- ctx.tmp_counter + 1;
+  Printf.sprintf "%s_t%d" prefix ctx.tmp_counter
+
+let intrin op dst srcs params = Stmt.Intrinsic { Intrin.op; dst; srcs; params }
+let bref buf offset : Intrin.buf_ref = { buf; offset = Linear.normalize offset }
+
+(* a zero-fill of [len] elements at [dst]: vectorized when alignment allows,
+   scalar loop otherwise *)
+let zero_fill ctx (dst : Intrin.buf_ref) len loop_var =
+  if
+    supported ctx Intrin.Vec_fill && aligned ctx len
+    && scopes_ok ctx Intrin.Vec_fill ~dst:dst.buf ~srcs:[]
+  then
+    [ intrin Intrin.Vec_fill dst [] [ Expr.Int len; Expr.Float 0.0 ] ]
+  else
+    [ Stmt.For
+        { var = loop_var;
+          lo = Expr.Int 0;
+          extent = Expr.Int len;
+          kind = Stmt.Serial;
+          body =
+            [ Stmt.Store
+                { buf = dst.buf;
+                  index = Linear.normalize (Expr.Binop (Expr.Add, dst.offset, Expr.Var loop_var));
+                  value = Expr.Float 0.0
+                }
+            ]
+        }
+    ]
+
+(* ---- elementwise / broadcast / copy / fill ------------------------------- *)
+
+let try_elementwise ctx v extent body =
+  match (Rewrite.const_extent extent, body) with
+  | Ok n, [ Stmt.Store { buf = d; index; value } ] when aligned ctx n -> (
+    match unit_affine v index with
+    | None -> None
+    | Some dbase -> (
+      let dst = bref d dbase in
+      let len = Expr.Int n in
+      let load1 e = match e with Expr.Load (a, ai) -> unit_affine v ai |> Option.map (fun b -> (a, b)) | _ -> None in
+      let activation =
+        (* whole-formula activations that map to one intrinsic *)
+        match value with
+        | Expr.Binop (Expr.Max, x, Expr.Float 0.0) | Expr.Binop (Expr.Max, Expr.Float 0.0, x)
+          when supported ctx Intrin.Vec_relu ->
+          load1 x |> Option.map (fun (a, ab) -> (Intrin.Vec_relu, a, ab))
+        | Expr.Binop
+            ( Expr.Div,
+              Expr.Float 1.0,
+              Expr.Binop (Expr.Add, Expr.Float 1.0, Expr.Unop (Expr.Exp, Expr.Unop (Expr.Neg, x)))
+            )
+          when supported ctx Intrin.Vec_sigmoid ->
+          load1 x |> Option.map (fun (a, ab) -> (Intrin.Vec_sigmoid, a, ab))
+        | Expr.Binop
+            ( Expr.Mul,
+              Expr.Binop (Expr.Mul, Expr.Float 0.5, x),
+              Expr.Binop (Expr.Add, Expr.Float 1.0, Expr.Unop (Expr.Erf, Expr.Binop (Expr.Mul, x', Expr.Float _)))
+            )
+          when Expr.equal x x' && supported ctx Intrin.Vec_gelu ->
+          load1 x |> Option.map (fun (a, ab) -> (Intrin.Vec_gelu, a, ab))
+        | Expr.Select
+            ( Expr.Binop (Expr.Gt, x, Expr.Float 0.0),
+              Expr.Float 1.0,
+              Expr.Select (Expr.Binop (Expr.Lt, x', Expr.Float 0.0), Expr.Float -1.0, Expr.Float 0.0)
+            )
+          when Expr.equal x x' && supported ctx Intrin.Vec_sign ->
+          load1 x |> Option.map (fun (a, ab) -> (Intrin.Vec_sign, a, ab))
+        | _ -> None
+      in
+      match activation with
+      | Some (vop, a, ab) when scopes_ok ctx vop ~dst:d ~srcs:[ a ] ->
+        Some [ intrin vop dst [ bref a ab ] [ len ] ]
+      | Some _ -> None
+      | None -> (
+      match value with
+      | Expr.Binop (op, l, r) -> (
+        match (binop_vec_op op, load1 l, load1 r) with
+        | Some vop, Some (a, ab), Some (b, bb)
+          when supported ctx vop && scopes_ok ctx vop ~dst:d ~srcs:[ a; b ] ->
+          Some [ intrin vop dst [ bref a ab; bref b bb ] [ len ] ]
+        | _ -> (
+          (* scalar broadcast: a[..] op s or s op a[..] with s independent *)
+          let indep e = Linear.independent_of v e in
+          let broadcast_ok a = scopes_ok ctx Intrin.Vec_scale ~dst:d ~srcs:[ a ] in
+          match (op, load1 l, load1 r) with
+          | Expr.Mul, Some (a, ab), None
+            when indep r && supported ctx Intrin.Vec_scale && broadcast_ok a ->
+            Some [ intrin Intrin.Vec_scale dst [ bref a ab ] [ len; r ] ]
+          | Expr.Mul, None, Some (a, ab)
+            when indep l && supported ctx Intrin.Vec_scale && broadcast_ok a ->
+            Some [ intrin Intrin.Vec_scale dst [ bref a ab ] [ len; l ] ]
+          | Expr.Add, Some (a, ab), None
+            when indep r && supported ctx Intrin.Vec_adds && broadcast_ok a ->
+            Some [ intrin Intrin.Vec_adds dst [ bref a ab ] [ len; r ] ]
+          | Expr.Add, None, Some (a, ab)
+            when indep l && supported ctx Intrin.Vec_adds && broadcast_ok a ->
+            Some [ intrin Intrin.Vec_adds dst [ bref a ab ] [ len; l ] ]
+          | Expr.Sub, Some (a, ab), None
+            when indep r && supported ctx Intrin.Vec_adds && broadcast_ok a ->
+            Some [ intrin Intrin.Vec_adds dst [ bref a ab ] [ len; Expr.Unop (Expr.Neg, r) ] ]
+          | _ -> None))
+      | Expr.Unop (op, x) -> (
+        match (unop_vec_op op, load1 x) with
+        | Some vop, Some (a, ab)
+          when supported ctx vop && scopes_ok ctx vop ~dst:d ~srcs:[ a ] ->
+          Some [ intrin vop dst [ bref a ab ] [ len ] ]
+        | _ -> None)
+      | Expr.Load (_, _) -> (
+        match load1 value with
+        | Some (a, ab)
+          when supported ctx Intrin.Vec_copy && scopes_ok ctx Intrin.Vec_copy ~dst:d ~srcs:[ a ]
+          ->
+          Some [ intrin Intrin.Vec_copy dst [ bref a ab ] [ len ] ]
+        | _ -> None)
+      | e
+        when Linear.independent_of v e && supported ctx Intrin.Vec_fill
+             && scopes_ok ctx Intrin.Vec_fill ~dst:d ~srcs:[] ->
+        Some [ intrin Intrin.Vec_fill dst [] [ len; e ] ]
+      | _ -> None)))
+  | _ -> None
+
+(* ---- reductions ----------------------------------------------------------- *)
+
+let try_reduction ctx v extent body =
+  match (Rewrite.const_extent extent, body) with
+  | Ok n, [ Stmt.Assign { var = acc; value } ] when aligned ctx n -> (
+    let make op combine a ab =
+      if not (supported ctx op && scopes_ok ctx op ~dst:a ~srcs:[ a ]) then None
+      else begin
+        let scope = Platform.default_compute_scope ctx.platform.Platform.id in
+        let tmp = fresh_tmp ctx (a ^ "_red") in
+        let align = max ctx.platform.Platform.vector_align 1 in
+        Some
+          [ Stmt.Alloc { buf = tmp; scope; dtype = Dtype.F32; size = align };
+            intrin op (bref tmp (Expr.Int 0)) [ bref a ab ] [ Expr.Int n ];
+            Stmt.Assign { var = acc; value = combine (Expr.Load (tmp, Expr.Int 0)) }
+          ]
+      end
+    in
+    match value with
+    | Expr.Binop (Expr.Add, Expr.Var acc', Expr.Load (a, ai))
+      when String.equal acc acc' -> (
+      match unit_affine v ai with
+      | Some ab ->
+        make Intrin.Vec_reduce_sum
+          (fun partial -> Expr.Binop (Expr.Add, Expr.Var acc, partial))
+          a ab
+      | None -> None)
+    | Expr.Binop (Expr.Max, Expr.Var acc', Expr.Load (a, ai))
+      when String.equal acc acc' -> (
+      match unit_affine v ai with
+      | Some ab ->
+        make Intrin.Vec_reduce_max
+          (fun partial -> Expr.Binop (Expr.Max, Expr.Var acc, partial))
+          a ab
+      | None -> None)
+    | _ -> None)
+  | _ -> None
+
+(* ---- dot products ----------------------------------------------------------- *)
+
+(* acc += a[..+v] * b[..+v]  ->  vec_mul into a temporary, then reduce_sum
+   (the idiomatic BANG C spelling of a dot product) *)
+let try_dot_reduction ctx v extent body =
+  match (Rewrite.const_extent extent, body) with
+  | ( Ok n,
+      [ Stmt.Assign
+          { var = acc;
+            value =
+              Expr.Binop
+                ( Expr.Add,
+                  Expr.Var acc',
+                  Expr.Binop (Expr.Mul, Expr.Load (a, ai), Expr.Load (b, bi)) )
+          }
+      ] )
+    when String.equal acc acc' && aligned ctx n
+         && supported ctx Intrin.Vec_mul && supported ctx Intrin.Vec_reduce_sum -> (
+    match (unit_affine v ai, unit_affine v bi) with
+    | Some ab, Some bb
+      when scopes_ok ctx Intrin.Vec_mul ~dst:a ~srcs:[ a; b ] ->
+      let scope = Platform.default_compute_scope ctx.platform.Platform.id in
+      let prod = fresh_tmp ctx (a ^ "_dot") in
+      let red = fresh_tmp ctx (a ^ "_dotred") in
+      let align = max ctx.platform.Platform.vector_align 1 in
+      Some
+        [ Stmt.Alloc { buf = prod; scope; dtype = Dtype.F32; size = n };
+          Stmt.Alloc { buf = red; scope; dtype = Dtype.F32; size = align };
+          intrin Intrin.Vec_mul (bref prod (Expr.Int 0)) [ bref a ab; bref b bb ]
+            [ Expr.Int n ];
+          intrin Intrin.Vec_reduce_sum (bref red (Expr.Int 0)) [ bref prod (Expr.Int 0) ]
+            [ Expr.Int n ];
+          Stmt.Assign
+            { var = acc;
+              value = Expr.Binop (Expr.Add, Expr.Var acc, Expr.Load (red, Expr.Int 0))
+            }
+        ]
+    | _ -> None)
+  | _ -> None
+
+(* ---- matmul --------------------------------------------------------------- *)
+
+let matmul_op ctx =
+  if supported ctx Intrin.Mlp then Some Intrin.Mlp
+  else if supported ctx Intrin.Mma then Some Intrin.Mma
+  else None
+
+(* accumulate form: for i { for j { for k { C[..] = C[..] + A[..]*B[..] } } } *)
+let try_matmul_accum ctx i (i_extent : Expr.t) body =
+  match (matmul_op ctx, Rewrite.const_extent i_extent, body) with
+  | Some op, Ok m, [ Stmt.For jl ] when jl.kind = Stmt.Serial -> (
+    match (Rewrite.const_extent jl.extent, jl.body) with
+    | Ok n, [ Stmt.For kl ] when kl.kind = Stmt.Serial -> (
+      match (Rewrite.const_extent kl.extent, kl.body) with
+      | ( Ok kk,
+          [ Stmt.Store
+              { buf = c;
+                index = ci;
+                value =
+                  Expr.Binop
+                    ( Expr.Add,
+                      Expr.Load (c', ci'),
+                      Expr.Binop (Expr.Mul, Expr.Load (a, ai), Expr.Load (b, bi)) )
+              }
+          ] )
+        when String.equal c c' && Linear.equal_linear ci ci' -> (
+        let j = jl.var and k = kl.var in
+        let vars = [ i; j; k ] in
+        match (coeffs vars ai, coeffs vars bi, coeffs vars ci) with
+        | Some ([ ca_i; ca_j; ca_k ], abase), Some ([ cb_i; cb_j; cb_k ], bbase),
+          Some ([ cc_i; cc_j; cc_k ], cbase)
+          when ca_i = kk && ca_j = 0 && ca_k = 1
+               && cb_i = 0 && cb_j = 1 && cb_k = n
+               && cc_i = n && cc_j = 1 && cc_k = 0
+               && scopes_ok ctx op ~dst:c ~srcs:[ a; b ] ->
+          Some
+            [ intrin op (bref c cbase) [ bref a abase; bref b bbase ]
+                [ Expr.Int m; Expr.Int kk; Expr.Int n ]
+            ]
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* match: for i { for j { acc = init; for k { acc += A[..]*B[..] }; C[..] = acc } } *)
+let try_matmul ctx i (i_extent : Expr.t) body =
+  let op = matmul_op ctx in
+  match (op, Rewrite.const_extent i_extent, body) with
+  | Some op, Ok m, [ Stmt.For jl ] when jl.kind = Stmt.Serial -> (
+    match (Rewrite.const_extent jl.extent, jl.body) with
+    | ( Ok n,
+        [ Stmt.Let { var = acc; value = init };
+          Stmt.For kl;
+          Stmt.Store { buf = c; index = ci; value = Expr.Var acc' }
+        ] )
+      when String.equal acc acc' && kl.kind = Stmt.Serial -> (
+      match (Rewrite.const_extent kl.extent, kl.body) with
+      | ( Ok kk,
+          [ Stmt.Assign
+              { var = acc'';
+                value =
+                  Expr.Binop
+                    (Expr.Add, Expr.Var acc''', Expr.Binop (Expr.Mul, Expr.Load (a, ai), Expr.Load (b, bi)))
+              }
+          ] )
+        when String.equal acc acc'' && String.equal acc acc''' -> (
+        let j = jl.var and k = kl.var in
+        let vars = [ i; j; k ] in
+        match (coeffs vars ai, coeffs vars bi, coeffs vars ci) with
+        | Some ([ ca_i; ca_j; ca_k ], abase), Some ([ cb_i; cb_j; cb_k ], bbase),
+          Some ([ cc_i; cc_j; cc_k ], cbase)
+          when ca_i = kk && ca_j = 0 && ca_k = 1 (* A[i*K + k] *)
+               && cb_i = 0 && cb_j = 1 && cb_k = n (* B[k*N + j] *)
+               && cc_i = n && cc_j = 1 && cc_k = 0 (* C[i*N + j] *)
+               && scopes_ok ctx op ~dst:c ~srcs:[ a; b ] ->
+          let dst = bref c cbase in
+          let fill =
+            match init with
+            | Expr.Float 0.0 | Expr.Int 0 -> zero_fill ctx dst (m * n) (fresh_tmp ctx "z")
+            | Expr.Load (c', ci') when String.equal c c' && Linear.equal_linear ci ci' -> []
+            | _ -> raise Exit
+          in
+          Some
+            (fill
+            @ [ intrin op dst [ bref a abase; bref b bbase ]
+                  [ Expr.Int m; Expr.Int kk; Expr.Int n ]
+              ])
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let try_matmul ctx i ext body = try try_matmul ctx i ext body with Exit -> None
+
+(* ---- 2-D convolution -------------------------------------------------------- *)
+
+(* match the NHWC direct convolution nest:
+   for oh { for ow { for oc { acc = 0;
+     for r { for q { for c { acc += in[((oh*s+r)*wi + ow*s+q)*ci + c]
+                                  * w[((oc*kh+r)*kw+q)*ci + c] } } };
+     out[((oh*wo+ow)*co)+oc] = acc } } } *)
+let try_conv2d ctx oh (oh_extent : Expr.t) body =
+  if not (supported ctx Intrin.Conv2d) then None
+  else
+    match (Rewrite.const_extent oh_extent, body) with
+    | Ok ho, [ Stmt.For owl ] when owl.kind = Stmt.Serial -> (
+      match (Rewrite.const_extent owl.extent, owl.body) with
+      | Ok wo, [ Stmt.For ocl ] when ocl.kind = Stmt.Serial -> (
+        match (Rewrite.const_extent ocl.extent, ocl.body) with
+        | ( Ok co,
+            [ Stmt.Let { var = acc; value = Expr.Float 0.0 | Expr.Int 0 };
+              Stmt.For rl;
+              Stmt.Store { buf = out; index = oi; value = Expr.Var acc' }
+            ] )
+          when String.equal acc acc' && rl.kind = Stmt.Serial -> (
+          match (Rewrite.const_extent rl.extent, rl.body) with
+          | Ok kh, [ Stmt.For ql ] when ql.kind = Stmt.Serial -> (
+            match (Rewrite.const_extent ql.extent, ql.body) with
+            | Ok kw, [ Stmt.For cl ] when cl.kind = Stmt.Serial -> (
+              match (Rewrite.const_extent cl.extent, cl.body) with
+              | ( Ok ci,
+                  [ Stmt.Assign
+                      { var = acc'';
+                        value =
+                          Expr.Binop
+                            ( Expr.Add,
+                              Expr.Var acc''',
+                              Expr.Binop
+                                (Expr.Mul, Expr.Load (inp, ii), Expr.Load (wgt, wi_idx)) )
+                      }
+                  ] )
+                when String.equal acc acc'' && String.equal acc acc''' -> (
+                let ow = owl.var and oc = ocl.var and r = rl.var and q = ql.var in
+                let c = cl.var in
+                let vars = [ oh; ow; oc; r; q; c ] in
+                match (coeffs vars ii, coeffs vars wi_idx, coeffs vars oi) with
+                | ( Some ([ i_oh; i_ow; i_oc; i_r; i_q; i_c ], ibase),
+                    Some ([ w_oh; w_ow; w_oc; w_r; w_q; w_c ], wbase),
+                    Some ([ o_oh; o_ow; o_oc; o_r; o_q; o_c ], obase) )
+                  when i_c = 1 && w_c = 1 && i_oc = 0 && w_oh = 0 && w_ow = 0
+                       && o_oc = 1 && o_r = 0 && o_q = 0 && o_c = 0
+                       && i_q = ci && w_q = ci
+                       && o_ow = co && o_oh = wo * co
+                       && w_r = kw * ci && w_oc = kh * kw * ci
+                       && i_ow > 0 && i_ow mod ci = 0 ->
+                  (* stride and input width from the remaining coefficients *)
+                  let stride = i_ow / ci in
+                  let wi = ((wo - 1) * stride) + kw in
+                  if
+                    i_oh = stride * wi * ci && i_r = wi * ci
+                    && scopes_ok ctx Intrin.Conv2d ~dst:out ~srcs:[ inp; wgt ]
+                  then
+                    Some
+                      [ intrin Intrin.Conv2d (bref out obase)
+                          [ bref inp ibase; bref wgt wbase ]
+                          [ Expr.Int co; Expr.Int ci; Expr.Int kh; Expr.Int kw; Expr.Int ho;
+                            Expr.Int wo; Expr.Int stride ]
+                      ]
+                  else None
+                | _ -> None)
+              | _ -> None)
+            | _ -> None)
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None
+
+(* ---- int8 dot product (dp4a) ---------------------------------------------- *)
+
+
+(* match: for g { acc = init; for j in 4 { acc += a[g*4+j]*b[g*4+j] }; c[g] = acc } *)
+let try_dp4a ctx g (g_extent : Expr.t) body =
+  if not (supported ctx Intrin.Dp4a) then None
+  else
+    match (Rewrite.const_extent g_extent, body) with
+    | ( Ok groups,
+        [ Stmt.Let { var = acc; value = init };
+          Stmt.For jl;
+          Stmt.Store { buf = c; index = ci; value = Expr.Var acc' }
+        ] )
+      when String.equal acc acc' && jl.kind = Stmt.Serial -> (
+      match (Rewrite.const_extent jl.extent, jl.body) with
+      | ( Ok 4,
+          [ Stmt.Assign
+              { var = acc'';
+                value =
+                  Expr.Binop
+                    ( Expr.Add,
+                      Expr.Var acc''',
+                      Expr.Binop (Expr.Mul, Expr.Load (a, ai), Expr.Load (b, bi)) )
+              }
+          ] )
+        when String.equal acc acc'' && String.equal acc acc''' -> (
+        let j = jl.var in
+        let vars = [ g; j ] in
+        match (coeffs vars ai, coeffs vars bi, coeffs vars ci) with
+        | Some ([ 4; 1 ], abase), Some ([ 4; 1 ], bbase), Some ([ 1; 0 ], cbase)
+          when scopes_ok ctx Intrin.Dp4a ~dst:c ~srcs:[ a; b ] ->
+          let dst = bref c cbase in
+          let fill =
+            match init with
+            | Expr.Int 0 | Expr.Float 0.0 ->
+              zero_fill ctx dst groups (g ^ "_z")
+            | Expr.Load (c', ci') when String.equal c c' && Linear.equal_linear ci ci' -> []
+            | _ -> [] (* unexpected init: bail out *)
+          in
+          (match init with
+          | Expr.Int 0 | Expr.Float 0.0 | Expr.Load _ ->
+            Some
+              (fill
+              @ [ intrin Intrin.Dp4a dst [ bref a abase; bref b bbase ]
+                    [ Expr.Int (groups * 4) ]
+                ])
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None
+
+(* accumulate form: for g { for j in 4 { c[g] = c[g] + a[g*4+j]*b[g*4+j] } } *)
+let try_dp4a_accum ctx g (g_extent : Expr.t) body =
+  if not (supported ctx Intrin.Dp4a) then None
+  else
+    match (Rewrite.const_extent g_extent, body) with
+    | Ok groups, [ Stmt.For jl ] when jl.kind = Stmt.Serial -> (
+      match (Rewrite.const_extent jl.extent, jl.body) with
+      | ( Ok 4,
+          [ Stmt.Store
+              { buf = c;
+                index = ci;
+                value =
+                  Expr.Binop
+                    ( Expr.Add,
+                      Expr.Load (c', ci'),
+                      Expr.Binop (Expr.Mul, Expr.Load (a, ai), Expr.Load (b, bi)) )
+              }
+          ] )
+        when String.equal c c' && Linear.equal_linear ci ci' -> (
+        let j = jl.var in
+        let vars = [ g; j ] in
+        match (coeffs vars ai, coeffs vars bi, coeffs vars ci) with
+        | Some ([ 4; 1 ], abase), Some ([ 4; 1 ], bbase), Some ([ 1; 0 ], cbase)
+          when scopes_ok ctx Intrin.Dp4a ~dst:c ~srcs:[ a; b ] ->
+          Some
+            [ intrin Intrin.Dp4a (bref c cbase) [ bref a abase; bref b bbase ]
+                [ Expr.Int (groups * 4) ]
+            ]
+        | _ -> None)
+      | _ -> None)
+    | _ -> None
+
+(* ---- driver ---------------------------------------------------------------- *)
+
+let tensorize ~platform (k : Kernel.t) =
+  let scope_env = Checker.scope_env platform k in
+  let scope_of b =
+    match List.assoc_opt b scope_env with
+    | Some s -> s
+    | None -> Checker.param_scope platform
+  in
+  let ctx = { platform; scope_of; replaced = 0; tmp_counter = 0 } in
+  let rec transform block = List.concat_map transform_stmt block
+  and transform_stmt stmt =
+    match stmt with
+    | Stmt.For r when r.kind = Stmt.Serial && Expr.equal r.lo (Expr.Int 0) -> (
+      let attempt =
+        match try_matmul ctx r.var r.extent r.body with
+        | Some repl -> Some repl
+        | None -> (
+          match try_matmul_accum ctx r.var r.extent r.body with
+          | Some repl -> Some repl
+          | None -> (
+          match try_conv2d ctx r.var r.extent r.body with
+          | Some repl -> Some repl
+          | None -> (
+          match try_dp4a ctx r.var r.extent r.body with
+          | Some repl -> Some repl
+          | None -> (
+          match try_dp4a_accum ctx r.var r.extent r.body with
+          | Some repl -> Some repl
+          | None -> (
+            match try_elementwise ctx r.var r.extent r.body with
+            | Some repl -> Some repl
+            | None -> (
+              match try_dot_reduction ctx r.var r.extent r.body with
+              | Some repl -> Some repl
+              | None -> try_reduction ctx r.var r.extent r.body))))))
+      in
+      match attempt with
+      | Some repl ->
+        ctx.replaced <- ctx.replaced + 1;
+        repl
+      | None -> [ Stmt.For { r with body = transform r.body } ])
+    | Stmt.For r -> [ Stmt.For { r with body = transform r.body } ]
+    | Stmt.If r -> [ Stmt.If { r with then_ = transform r.then_; else_ = transform r.else_ } ]
+    | s -> [ s ]
+  in
+  let body = transform k.Kernel.body in
+  if ctx.replaced = 0 then
+    Error
+      (Printf.sprintf "no loop nest matches a %s intrinsic pattern" platform.Platform.name)
+  else Ok (Kernel.with_body k body)
+
+(* ---- detensorize ------------------------------------------------------------ *)
+
+let detensorize (k : Kernel.t) =
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Printf.sprintf "%s%d" prefix !counter
+  in
+  let found = ref 0 in
+  let loop var extent body =
+    Stmt.For { var; lo = Expr.Int 0; extent; kind = Stmt.Serial; body }
+  in
+  let load (r : Intrin.buf_ref) idx =
+    Expr.Load (r.buf, Linear.normalize (Expr.Binop (Expr.Add, r.offset, idx)))
+  in
+  let store (r : Intrin.buf_ref) idx value =
+    Stmt.Store
+      { buf = r.buf; index = Linear.normalize (Expr.Binop (Expr.Add, r.offset, idx)); value }
+  in
+  let expand (i : Intrin.t) =
+    let p n = List.nth i.params n in
+    let src n = List.nth i.srcs n in
+    let vt = fresh "t" in
+    let tv = Expr.Var vt in
+    match i.op with
+    | Intrin.Vec_add | Intrin.Vec_sub | Intrin.Vec_mul | Intrin.Vec_max | Intrin.Vec_min ->
+      let op =
+        match i.op with
+        | Intrin.Vec_add -> Expr.Add
+        | Intrin.Vec_sub -> Expr.Sub
+        | Intrin.Vec_mul -> Expr.Mul
+        | Intrin.Vec_max -> Expr.Max
+        | _ -> Expr.Min
+      in
+      [ loop vt (p 0) [ store i.dst tv (Expr.Binop (op, load (src 0) tv, load (src 1) tv)) ] ]
+    | Intrin.Vec_exp | Intrin.Vec_log | Intrin.Vec_sqrt | Intrin.Vec_recip | Intrin.Vec_tanh
+    | Intrin.Vec_erf ->
+      let op =
+        match i.op with
+        | Intrin.Vec_exp -> Expr.Exp
+        | Intrin.Vec_log -> Expr.Log
+        | Intrin.Vec_sqrt -> Expr.Sqrt
+        | Intrin.Vec_recip -> Expr.Recip
+        | Intrin.Vec_tanh -> Expr.Tanh
+        | _ -> Expr.Erf
+      in
+      [ loop vt (p 0) [ store i.dst tv (Expr.Unop (op, load (src 0) tv)) ] ]
+    | Intrin.Vec_copy -> [ loop vt (p 0) [ store i.dst tv (load (src 0) tv) ] ]
+    | Intrin.Vec_relu ->
+      [ loop vt (p 0)
+          [ store i.dst tv (Expr.Binop (Expr.Max, load (src 0) tv, Expr.Float 0.0)) ]
+      ]
+    | Intrin.Vec_sigmoid ->
+      [ loop vt (p 0)
+          [ store i.dst tv
+              (Expr.Binop
+                 ( Expr.Div,
+                   Expr.Float 1.0,
+                   Expr.Binop
+                     (Expr.Add, Expr.Float 1.0, Expr.Unop (Expr.Exp, Expr.Unop (Expr.Neg, load (src 0) tv)))
+                 ))
+          ]
+      ]
+    | Intrin.Vec_gelu ->
+      let x = load (src 0) tv in
+      [ loop vt (p 0)
+          [ store i.dst tv
+              (Expr.Binop
+                 ( Expr.Mul,
+                   Expr.Binop (Expr.Mul, Expr.Float 0.5, x),
+                   Expr.Binop
+                     ( Expr.Add,
+                       Expr.Float 1.0,
+                       Expr.Unop (Expr.Erf, Expr.Binop (Expr.Mul, x, Expr.Float 0.7071067811865476)) )
+                 ))
+          ]
+      ]
+    | Intrin.Vec_sign ->
+      let x = load (src 0) tv in
+      [ loop vt (p 0)
+          [ store i.dst tv
+              (Expr.Select
+                 ( Expr.Binop (Expr.Gt, x, Expr.Float 0.0),
+                   Expr.Float 1.0,
+                   Expr.Select (Expr.Binop (Expr.Lt, x, Expr.Float 0.0), Expr.Float (-1.0), Expr.Float 0.0)
+                 ))
+          ]
+      ]
+    | Intrin.Vec_scale ->
+      [ loop vt (p 0) [ store i.dst tv (Expr.Binop (Expr.Mul, load (src 0) tv, p 1)) ] ]
+    | Intrin.Vec_adds ->
+      [ loop vt (p 0) [ store i.dst tv (Expr.Binop (Expr.Add, load (src 0) tv, p 1)) ] ]
+    | Intrin.Vec_fill -> [ loop vt (p 0) [ store i.dst tv (p 1) ] ]
+    | Intrin.Vec_reduce_sum ->
+      [ store i.dst (Expr.Int 0) (Expr.Float 0.0);
+        loop vt (p 0)
+          [ store i.dst (Expr.Int 0)
+              (Expr.Binop (Expr.Add, load i.dst (Expr.Int 0), load (src 0) tv))
+          ]
+      ]
+    | Intrin.Vec_reduce_max ->
+      [ store i.dst (Expr.Int 0) (load (src 0) (Expr.Int 0));
+        loop vt (p 0)
+          [ store i.dst (Expr.Int 0)
+              (Expr.Binop (Expr.Max, load i.dst (Expr.Int 0), load (src 0) tv))
+          ]
+      ]
+    | Intrin.Mma | Intrin.Mlp ->
+      let vi = fresh "mi" and vj = fresh "mj" and vk = fresh "mk" in
+      let m = p 0 and kk = p 1 and n = p 2 in
+      let idx_c = Expr.(Binop (Add, Binop (Mul, Var vi, n), Var vj)) in
+      let idx_a = Expr.(Binop (Add, Binop (Mul, Var vi, kk), Var vk)) in
+      let idx_b = Expr.(Binop (Add, Binop (Mul, Var vk, n), Var vj)) in
+      [ loop vi m
+          [ loop vj n
+              [ loop vk kk
+                  [ store i.dst idx_c
+                      (Expr.Binop
+                         ( Expr.Add,
+                           load i.dst idx_c,
+                           Expr.Binop (Expr.Mul, load (src 0) idx_a, load (src 1) idx_b) ))
+                  ]
+              ]
+          ]
+      ]
+    | Intrin.Conv2d ->
+      let co = p 0 and ci = p 1 and kh = p 2 and kw = p 3 and ho = p 4 and wo = p 5 in
+      let stride = p 6 in
+      let wi = Expr.simplify Expr.(Binop (Add, Binop (Mul, Binop (Sub, wo, Int 1), stride), kw)) in
+      let voh = fresh "oh" and vow = fresh "ow" and voc = fresh "oc" in
+      let vr = fresh "r" and vq = fresh "q" and vc = fresh "c" in
+      let open Expr in
+      let idx_out = Binop (Add, Binop (Mul, Binop (Add, Binop (Mul, Var voh, wo), Var vow), co), Var voc) in
+      let idx_in =
+        Binop
+          ( Add,
+            Binop
+              ( Mul,
+                Binop
+                  ( Add,
+                    Binop (Mul, Binop (Add, Binop (Mul, Var voh, stride), Var vr), wi),
+                    Binop (Add, Binop (Mul, Var vow, stride), Var vq) ),
+                ci ),
+            Var vc )
+      in
+      let idx_w =
+        Binop
+          ( Add,
+            Binop
+              ( Mul,
+                Binop
+                  (Add, Binop (Mul, Binop (Add, Binop (Mul, Var voc, kh), Var vr), kw), Var vq),
+                ci ),
+            Var vc )
+      in
+      [ loop voh ho
+          [ loop vow wo
+              [ loop voc co
+                  [ loop vr kh
+                      [ loop vq kw
+                          [ loop vc ci
+                              [ store i.dst idx_out
+                                  (Binop
+                                     ( Add,
+                                       load i.dst idx_out,
+                                       Binop (Mul, load (src 0) idx_in, load (src 1) idx_w) ))
+                              ]
+                          ]
+                      ]
+                  ]
+              ]
+          ]
+      ]
+    | Intrin.Dp4a ->
+      let vg = fresh "g" and vj = fresh "j" in
+      let open Expr in
+      let idx = Binop (Add, Binop (Mul, Var vg, Int 4), Var vj) in
+      [ loop vg (Expr.simplify (Binop (Div, p 0, Int 4)))
+          [ loop vj (Int 4)
+              [ store i.dst (Var vg)
+                  (Binop
+                     ( Add,
+                       load i.dst (Var vg),
+                       Binop (Mul, load (src 0) idx, load (src 1) idx) ))
+              ]
+          ]
+      ]
+  in
+  let rec expand_block block =
+    List.concat_map
+      (fun stmt ->
+        match stmt with
+        | Stmt.Intrinsic i ->
+          incr found;
+          expand i
+        | Stmt.For r -> [ Stmt.For { r with body = expand_block r.body } ]
+        | Stmt.If r ->
+          [ Stmt.If { r with then_ = expand_block r.then_; else_ = expand_block r.else_ } ]
+        | s -> [ s ])
+      block
+  in
+  let body = expand_block k.Kernel.body in
+  if !found = 0 then Error "kernel contains no intrinsic to detensorize"
+  else Ok (Kernel.with_body k body)

@@ -1,0 +1,17 @@
+open Xpiler_ir
+open Xpiler_machine
+
+(** (De)tensorization passes (Table 4, category 3). *)
+
+val tensorize : platform:Platform.t -> Kernel.t -> (Kernel.t, string) result
+(** Replace recognizable loop nests with the platform's specialized
+    intrinsics: elementwise maps and scalar broadcasts become vector
+    intrinsics, sum/max reductions become reduce intrinsics, matmul triple
+    nests become [mma]/[mlp], and int8 dot-product nests become [dp4a].
+    Fails when nothing in the kernel matches a pattern the platform
+    supports, or when a matched extent violates the platform's alignment
+    granularity. *)
+
+val detensorize : Kernel.t -> (Kernel.t, string) result
+(** Restore every intrinsic back into explicit loops with identical
+    semantics. Fails when the kernel contains no intrinsic. *)

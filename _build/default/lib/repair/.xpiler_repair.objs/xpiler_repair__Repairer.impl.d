@@ -1,0 +1,1 @@
+lib/repair/repairer.ml: Expr Interp Intrin Kernel Linear List Localize Platform Stmt String Tensor Unit_test Validate Xpiler_ir Xpiler_machine Xpiler_ops Xpiler_passes Xpiler_smt Xpiler_util

@@ -1,0 +1,212 @@
+open Xpiler_ir
+open Xpiler_machine
+open Xpiler_ops
+module Rewrite = Xpiler_passes.Rewrite
+module Solver = Xpiler_smt.Solver
+module Vclock = Xpiler_util.Vclock
+
+type outcome =
+  | Repaired of { kernel : Kernel.t; tests_run : int; site : string }
+  | Gave_up of { reason : string; tests_run : int }
+
+let dedup xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+
+(* constants visible in the program: the context Algorithm 3 harvests *)
+let context_constants (k : Kernel.t) =
+  Stmt.fold
+    (fun acc s ->
+      match s with
+      | Stmt.Alloc { size; _ } -> size :: acc
+      | Stmt.Memcpy { len = Expr.Int n; _ } -> n :: acc
+      | Stmt.For { extent = Expr.Int n; _ } -> n :: acc
+      | Stmt.Intrinsic { params = Expr.Int n :: _; _ } -> n :: acc
+      | _ -> acc)
+    [] k.Kernel.body
+  |> dedup
+
+(* the statement a Param/Bound site refers to, for alignment constraints *)
+let nth_matching select nth (k : Kernel.t) =
+  let found = ref None in
+  let count = ref (-1) in
+  ignore
+    (Rewrite.rewrite_nth nth select
+       (fun s ->
+         ignore count;
+         found := Some s;
+         s)
+       k.Kernel.body);
+  !found
+
+let candidate_values ~platform (k : Kernel.t) (site : Localize.site) =
+  match site with
+  | Localize.Index_site _ -> [ -2; -1; 1; 2 ]  (* deltas on the index constant *)
+  | Localize.Bound_site { current; _ } ->
+    let ctx = context_constants k in
+    let raw =
+      [ current - 1; current + 1; current - 2; current + 2; current / 2; current * 2 ]
+      @ List.filter (fun c -> abs (c - current) <= 8 && c <> current) ctx
+    in
+    let problem : Solver.problem =
+      { vars = [ ("?b", Solver.Enum (dedup raw)) ];
+        constraints = [ Expr.Binop (Expr.Gt, Expr.Var "?b", Expr.Int 0) ]
+      }
+    in
+    Solver.solve_all problem |> List.filter_map (List.assoc_opt "?b")
+  | Localize.Param_site { nth; current } ->
+    let stmt = nth_matching Localize.is_param_site nth k in
+    let align_c =
+      match stmt with
+      | Some (Stmt.Intrinsic i) when Intrin.is_vector i.op && platform.Platform.vector_align > 1
+        ->
+        [ Expr.Binop
+            ( Expr.Eq,
+              Expr.Binop (Expr.Mod, Expr.Var "?p", Expr.Int platform.Platform.vector_align),
+              Expr.Int 0 )
+        ]
+      | Some (Stmt.Intrinsic { op = Intrin.Dp4a; _ }) ->
+        [ Expr.Binop (Expr.Eq, Expr.Binop (Expr.Mod, Expr.Var "?p", Expr.Int 4), Expr.Int 0) ]
+      | _ -> []
+    in
+    let ctx = context_constants k in
+    let raw =
+      ctx
+      @ [ current / 2; current * 2; current - 1; current + 1; current - 64; current + 64 ]
+    in
+    let problem : Solver.problem =
+      { vars = [ ("?p", Solver.Enum (dedup (List.filter (fun v -> v > 0 && v <> current) raw))) ];
+        constraints = Expr.Binop (Expr.Gt, Expr.Var "?p", Expr.Int 0) :: align_c
+      }
+    in
+    Solver.solve_all ~limit:24 problem |> List.filter_map (List.assoc_opt "?p")
+
+let apply_candidate (k : Kernel.t) (site : Localize.site) value =
+  match site with
+  | Localize.Param_site { nth; _ } ->
+    Kernel.map_body
+      (Rewrite.rewrite_nth nth Localize.is_param_site (fun s ->
+           match s with
+           | Stmt.Intrinsic ({ params = Expr.Int _ :: rest; _ } as i) ->
+             Stmt.Intrinsic { i with params = Expr.Int value :: rest }
+           | Stmt.Memcpy r -> Stmt.Memcpy { r with len = Expr.Int value }
+           | s -> s))
+      k
+  | Localize.Bound_site { nth; _ } ->
+    Kernel.map_body
+      (Rewrite.rewrite_nth nth Localize.is_bound_site (fun s ->
+           match s with
+           | Stmt.For r -> Stmt.For { r with extent = Expr.Int value }
+           | s -> s))
+      k
+  | Localize.Index_site { nth; _ } ->
+    Kernel.map_body
+      (Rewrite.rewrite_nth nth Localize.is_index_site (fun s ->
+           match s with
+           | Stmt.Store r ->
+             Stmt.Store
+               { r with
+                 index = Linear.normalize (Expr.Binop (Expr.Add, r.index, Expr.Int value))
+               }
+           | s -> s))
+      k
+
+let charge clock stage s = match clock with Some c -> Vclock.charge c stage s | None -> ()
+
+(* how wrong is a kernel? used to hill-climb when several faults coexist *)
+let mismatch_score ~op ~shape kernel =
+  let rng = Xpiler_util.Rng.create 20250706 in
+  let args, expected = Unit_test.reference_outputs rng op shape in
+  match Interp.run kernel args with
+  | exception Interp.Runtime_error _ -> max_int
+  | _ ->
+    List.fold_left
+      (fun acc (name, e) ->
+        match List.assoc_opt name args with
+        | Some (Interp.Buf t) -> acc + List.length (Tensor.mismatched_indices t e)
+        | _ -> acc + Tensor.length e)
+      0 expected
+
+let repair ?(max_tests = 200) ?(rounds = 2) ?clock ~platform ~op ~shape kernel =
+  let total_rounds = rounds in
+  let tests = ref 0 in
+  let unit_ok k =
+    incr tests;
+    charge clock Vclock.Unit_test 45.0;
+    Unit_test.check ~trials:1 op shape k = Unit_test.Pass
+  in
+  let fully_ok k =
+    incr tests;
+    charge clock Vclock.Unit_test 90.0;
+    Unit_test.check ~trials:2 op shape k = Unit_test.Pass
+  in
+  (* candidates must stay structurally well-formed; full platform checking
+     happens on the final program (intermediate pipeline states legitimately
+     mix source and target features) *)
+  let compile_ok k = match Validate.check k with Ok () -> true | Error _ -> false in
+  let rec round n k last_reason =
+    if n <= 0 then Gave_up { reason = last_reason; tests_run = !tests }
+    else begin
+      charge clock Vclock.Bug_localization 240.0;
+      (* fresh localization inputs each round: a fault masked on one input
+         draw shows up on another *)
+      let report = Localize.localize ~seed:(20250706 + ((total_rounds - n) * 7717)) ~op ~shape k in
+      if report.Localize.failing_buffers = [] && report.Localize.runtime_error = None then
+        if fully_ok k then Repaired { kernel = k; tests_run = !tests; site = "none" }
+        else round (n - 1) k "divergence not reproduced on localization inputs"
+      else if report.Localize.sites = [] then
+        Gave_up
+          { reason =
+              (if report.Localize.unrepairable <> [] then
+                 "complex control flow: " ^ String.concat "; " report.Localize.unrepairable
+               else "no repair sites in the failing cone");
+            tests_run = !tests
+          }
+      else begin
+        let base_score = mismatch_score ~op ~shape k in
+        let best_partial = ref None in
+        let try_site found site =
+          match found with
+          | Some _ -> found
+          | None ->
+            charge clock Vclock.Smt_solving 90.0;
+            let values = candidate_values ~platform k site in
+            List.fold_left
+              (fun found value ->
+                match found with
+                | Some _ -> found
+                | None ->
+                  if !tests >= max_tests then None
+                  else begin
+                    let candidate = apply_candidate k site value in
+                    if not (compile_ok candidate) then None
+                    else if unit_ok candidate then Some (candidate, site)
+                    else begin
+                      (* several faults may coexist: remember the candidate
+                         that brings the output closest to the reference *)
+                      let score = mismatch_score ~op ~shape candidate in
+                      (match !best_partial with
+                      | Some (s, _) when s <= score -> ()
+                      | _ -> if score < base_score then best_partial := Some (score, candidate));
+                      None
+                    end
+                  end)
+              None values
+        in
+        match List.fold_left try_site None report.Localize.sites with
+        | Some (fixed, site) ->
+          if fully_ok fixed then
+            Repaired
+              { kernel = fixed; tests_run = !tests; site = Localize.site_to_string site }
+          else round (n - 1) fixed "single-trial fix did not generalize"
+        | None ->
+          if !tests >= max_tests then
+            Gave_up { reason = "test budget exhausted"; tests_run = !tests }
+          else begin
+            match !best_partial with
+            | Some (_, improved) -> round (n - 1) improved "partial fix did not converge"
+            | None -> Gave_up { reason = "no single-constant repair found"; tests_run = !tests }
+          end
+      end
+    end
+  in
+  round rounds kernel "no rounds"

@@ -1,0 +1,34 @@
+open Xpiler_ir
+open Xpiler_machine
+open Xpiler_ops
+
+(** SMT-based code repairing (paper Algorithm 3).
+
+    For each localized site, the repairer builds a sketch with the suspect
+    constant replaced by a hole, derives the hole's domain from program
+    context (allocation sizes, copy lengths, sibling loop extents) and SMT
+    side constraints (positivity, platform alignment granularity, dp4a
+    divisibility — the Figure 5 constraint classes), solves for surviving
+    candidates with the SMT-lite solver, stitches each back and accepts the
+    first candidate that passes the platform checker and the unit tests. *)
+
+type outcome =
+  | Repaired of { kernel : Kernel.t; tests_run : int; site : string }
+  | Gave_up of { reason : string; tests_run : int }
+
+val candidate_values :
+  platform:Platform.t -> Kernel.t -> Localize.site -> int list
+(** The SMT-filtered candidate domain for a site (exposed for tests and for
+    the Table 3 solving-time comparison). *)
+
+val repair :
+  ?max_tests:int ->
+  ?rounds:int ->
+  ?clock:Xpiler_util.Vclock.t ->
+  platform:Platform.t ->
+  op:Opdef.t ->
+  shape:Opdef.shape ->
+  Kernel.t ->
+  outcome
+(** [rounds] (default 2) bounds how many distinct faults can be fixed in
+    sequence; [max_tests] (default 200) bounds unit-test executions. *)

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Expr List Xpiler_ir

@@ -1,0 +1,1 @@
+lib/smt/synth.ml: Expr List Solver String Xpiler_ir

@@ -1,0 +1,1 @@
+lib/smt/synth.mli: Expr Solver Xpiler_ir

@@ -1,0 +1,97 @@
+open Xpiler_ir
+
+type domain = Range of { lo : int; hi : int; stride : int } | Enum of int list
+
+type problem = { vars : (string * domain) list; constraints : Expr.t list }
+type stats = { steps : int; evals : int }
+type outcome = Sat of (string * int) list | Unsat | Timeout
+
+let domain_values = function
+  | Enum xs -> xs
+  | Range { lo; hi; stride } ->
+    if stride <= 0 then invalid_arg "Solver.domain_values: non-positive stride";
+    let rec go v acc = if v > hi then List.rev acc else go (v + stride) (v :: acc) in
+    go lo []
+
+let divisors n =
+  if n <= 0 then invalid_arg "Solver.divisors: non-positive";
+  let rec go d acc = if d > n then List.rev acc else go (d + 1) (if n mod d = 0 then d :: acc else acc) in
+  go 1 []
+
+(* evaluate a constraint under a partial assignment: Some b when all its
+   variables are bound, None otherwise *)
+let try_eval assignment e =
+  match Expr.eval_int (fun x -> List.assoc x assignment) e with
+  | v -> Some (v <> 0)
+  | exception _ -> None
+
+let forall_range var ~lo ~hi body =
+  let rec go i acc =
+    if i >= hi then acc
+    else
+      go (i + 1)
+        (Expr.Binop (Expr.And, acc, Expr.subst_var var (Expr.Int i) body))
+  in
+  if lo >= hi then Expr.Int 1 else go (lo + 1) (Expr.subst_var var (Expr.Int lo) body)
+
+let search ?(max_steps = 2_000_000) problem ~on_model =
+  let steps = ref 0 and evals = ref 0 in
+  let timeout = ref false in
+  let rec assign acc = function
+    | [] ->
+      let model = List.rev acc in
+      let satisfied =
+        List.for_all
+          (fun c ->
+            incr evals;
+            match try_eval model c with Some b -> b | None -> false)
+          problem.constraints
+      in
+      satisfied && on_model model
+    | (v, dom) :: rest ->
+      let values = domain_values dom in
+      let continue_search = ref true in
+      List.iter
+        (fun value ->
+          if !continue_search && not !timeout then begin
+            incr steps;
+            if !steps > max_steps then timeout := true
+            else begin
+              let acc' = (v, value) :: acc in
+              (* prune: any fully-bound constraint that is false kills the branch *)
+              let ok =
+                List.for_all
+                  (fun c ->
+                    incr evals;
+                    match try_eval acc' c with Some b -> b | None -> true)
+                  problem.constraints
+              in
+              if ok then if assign acc' rest then continue_search := false
+            end
+          end)
+        values;
+      not !continue_search
+  in
+  let found = assign [] problem.vars in
+  (found, !timeout, { steps = !steps; evals = !evals })
+
+let solve ?max_steps problem =
+  let result = ref Unsat in
+  let found, timeout, stats =
+    search ?max_steps problem ~on_model:(fun model ->
+        result := Sat model;
+        true)
+  in
+  let outcome = if found then !result else if timeout then Timeout else Unsat in
+  (outcome, stats)
+
+let solve_all ?max_steps ?(limit = 64) problem =
+  let models = ref [] in
+  let count = ref 0 in
+  let _ =
+    search ?max_steps problem ~on_model:(fun model ->
+        models := model :: !models;
+        incr count;
+        !count >= limit)
+  in
+  List.rev !models

@@ -1,0 +1,42 @@
+open Xpiler_ir
+
+(** SMT-lite: a finite-domain constraint solver over integer expressions.
+
+    Z3 is not available in this environment, so the fragment QiMeng-Xpiler
+    actually needs — small conjunctions of (in)equalities over loop bounds,
+    affine indices and intrinsic parameters (paper Figure 5) — is solved by
+    backtracking enumeration with eager partial evaluation. Constraints are
+    ordinary IR expressions treated as booleans (non-zero = true), so SMT
+    queries read exactly like the paper's examples:
+    [(i1 * 4 + i2 == i) && (0 <= i2) && (i2 < 4)]. *)
+
+type domain =
+  | Range of { lo : int; hi : int; stride : int }  (** lo, lo+stride, ..., <= hi *)
+  | Enum of int list
+
+type problem = {
+  vars : (string * domain) list;  (** assignment order = listed order *)
+  constraints : Expr.t list;  (** conjunction; may mention only [vars] *)
+}
+
+type stats = { steps : int; evals : int }
+
+type outcome =
+  | Sat of (string * int) list
+  | Unsat
+  | Timeout
+
+val domain_values : domain -> int list
+val divisors : int -> int list
+(** All positive divisors, ascending — the natural domain of tiling factors. *)
+
+val solve : ?max_steps:int -> problem -> outcome * stats
+(** [max_steps] bounds assignment attempts (default 2_000_000). The returned
+    model satisfies every constraint (checked before returning). *)
+
+val solve_all : ?max_steps:int -> ?limit:int -> problem -> (string * int) list list
+(** All models, up to [limit] (default 64). *)
+
+val forall_range : string -> lo:int -> hi:int -> Expr.t -> Expr.t
+(** [forall_range i ~lo ~hi body] expands a bounded universal quantifier into
+    a conjunction by substituting each value of [i] in [lo, hi). *)

@@ -1,0 +1,79 @@
+open Xpiler_ir
+
+let is_hole name = String.length name > 0 && name.[0] = '?'
+let holes_of e = List.filter is_hole (Expr.free_vars e)
+
+type example = { env : (string * int) list; expected : int }
+type result = { outcome : Solver.outcome; stats : Solver.stats }
+
+let fill_holes ?max_steps ~holes ~sketch ~examples ?(side_constraints = []) () =
+  (* each example contributes one equality constraint with the example's
+     concrete variables substituted in, leaving only holes free *)
+  let example_constraint { env; expected } =
+    let bound =
+      List.fold_left (fun e (x, v) -> Expr.subst_var x (Expr.Int v) e) sketch env
+    in
+    Expr.Binop (Expr.Eq, bound, Expr.Int expected)
+  in
+  let problem : Solver.problem =
+    { vars = holes;
+      constraints = List.map example_constraint examples @ side_constraints
+    }
+  in
+  let outcome, stats = Solver.solve ?max_steps problem in
+  { outcome; stats }
+
+let apply_model model e =
+  List.fold_left (fun e (h, v) -> Expr.subst_var h (Expr.Int v) e) e model
+
+(* bottom-up enumeration, by size: terminals, then all binop combinations *)
+let enumerate_affine ?(max_nodes = 200_000) ~vars ~consts ~examples () =
+  let tried = ref 0 in
+  let matches e =
+    List.for_all
+      (fun { env; expected } ->
+        match Expr.eval_int (fun x -> List.assoc x env) e with
+        | v -> v = expected
+        | exception _ -> false)
+      examples
+  in
+  let terminals =
+    List.map (fun v -> Expr.Var v) vars @ List.map (fun c -> Expr.Int c) consts
+  in
+  let found = ref None in
+  let check e =
+    if !found = None && !tried < max_nodes then begin
+      incr tried;
+      if matches e then found := Some e
+    end
+  in
+  List.iter check terminals;
+  (* levels: expressions of increasing size built from smaller ones *)
+  let ops = [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Div; Expr.Mod ] in
+  let level1 = terminals in
+  let grow level_a level_b =
+    let acc = ref [] in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            List.iter
+              (fun op ->
+                if !found = None && !tried < max_nodes then begin
+                  let e = Expr.Binop (op, a, b) in
+                  check e;
+                  acc := e :: !acc
+                end)
+              ops)
+          level_b)
+      level_a;
+    List.rev !acc
+  in
+  if !found = None then begin
+    let level2 = grow level1 level1 in
+    if !found = None then begin
+      let _level3 = grow level2 level1 in
+      if !found = None then ignore (grow level1 level2)
+    end
+  end;
+  (!found, !tried)

@@ -1,0 +1,1 @@
+lib/tuning/actions.ml: Array Axis Expr Hashtbl Intrin Kernel Knobs List Option Platform Scope Stmt String Xpiler_ir Xpiler_machine Xpiler_passes

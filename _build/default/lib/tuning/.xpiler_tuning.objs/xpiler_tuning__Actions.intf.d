@@ -1,0 +1,1 @@
+lib/tuning/actions.mli: Kernel Platform Xpiler_ir Xpiler_machine Xpiler_passes

@@ -1,0 +1,1 @@
+lib/tuning/intra.ml: Checker Costmodel Knobs List Result Xpiler_ir Xpiler_machine Xpiler_passes Xpiler_util

@@ -1,0 +1,1 @@
+lib/tuning/knobs.ml: Expr Kernel List Platform Stmt Xpiler_ir Xpiler_machine Xpiler_smt

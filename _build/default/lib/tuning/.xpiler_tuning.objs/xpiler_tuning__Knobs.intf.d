@@ -1,0 +1,1 @@
+lib/tuning/knobs.mli: Axis Kernel Platform Xpiler_ir Xpiler_machine

@@ -1,0 +1,1 @@
+lib/tuning/mcts.ml: Actions Checker Float Hashtbl Intra Kernel List Marshal Xpiler_ir Xpiler_machine Xpiler_passes Xpiler_util

@@ -1,0 +1,1 @@
+lib/tuning/mcts.mli: Kernel Platform Xpiler_ir Xpiler_machine Xpiler_passes Xpiler_util

@@ -1,0 +1,17 @@
+open Xpiler_ir
+open Xpiler_machine
+module Pass = Xpiler_passes.Pass
+
+(** The inter-pass action space: applicable pass instantiations for a
+    program state (the MCTS branching set). All 11 pass families of Table 4
+    can appear, and passes may repeat along a path. *)
+
+val enumerate :
+  ?buffer_sizes:(string * int) list ->
+  ?max_actions:int ->
+  Platform.t ->
+  Kernel.t ->
+  Pass.spec list
+(** [buffer_sizes] enables whole-buffer cache actions for kernel parameters
+    (sizes are not recoverable from a pointer); [max_actions] caps branching
+    (default 14). *)

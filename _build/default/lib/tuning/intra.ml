@@ -1,0 +1,45 @@
+open Xpiler_machine
+module Pass = Xpiler_passes.Pass
+module Vclock = Xpiler_util.Vclock
+
+type variant = { specs : Pass.spec list; kernel : Xpiler_ir.Kernel.t; throughput : float }
+
+let candidates platform k =
+  let splits =
+    List.concat_map
+      (fun (var, extent) ->
+        List.map
+          (fun factor -> [ Pass.Loop_split { var; factor } ])
+          (Knobs.split_factors platform ~extent))
+      (Knobs.splittable_loops k)
+  in
+  let reorders = List.map (fun var -> [ Pass.Loop_reorder { var } ]) (Knobs.reorderable_loops k) in
+  let pipelines = List.map (fun var -> [ Pass.Pipeline { var } ]) (Knobs.pipelinable_loops k) in
+  [ [] ] @ splits @ reorders @ pipelines
+
+let tune ?clock ?(max_candidates = 64) ~platform k =
+  let charge s =
+    match clock with Some c -> Vclock.charge c Vclock.Auto_tuning s | None -> ()
+  in
+  let throughput kernel = Costmodel.throughput platform kernel ~shapes:[] in
+  let base = { specs = []; kernel = k; throughput = throughput k } in
+  let cands =
+    candidates platform k |> List.filteri (fun i _ -> i < max_candidates)
+  in
+  List.fold_left
+    (fun best specs ->
+      charge 10.0 (* one variant measured on the device *);
+      let applied =
+        List.fold_left
+          (fun acc spec -> Result.bind acc (Pass.apply ~platform spec))
+          (Ok k) specs
+      in
+      match applied with
+      | Error _ -> best
+      | Ok kernel -> (
+        match Checker.compile platform kernel with
+        | Error _ -> best
+        | Ok () ->
+          let t = throughput kernel in
+          if t > best.throughput then { specs; kernel; throughput = t } else best))
+    base cands

@@ -1,0 +1,23 @@
+open Xpiler_ir
+open Xpiler_machine
+module Pass = Xpiler_passes.Pass
+
+(** Intra-pass auto-tuning (paper §5.1): brute-force search over a pass's
+    tuning knobs, keeping the candidate with the best modelled throughput. *)
+
+type variant = { specs : Pass.spec list; kernel : Kernel.t; throughput : float }
+
+val candidates : Platform.t -> Kernel.t -> Pass.spec list list
+(** The knob space: split factors per splittable loop, interchanges,
+    pipelining — each entry is a short spec sequence to try on top of the
+    kernel. Includes the empty sequence (keep as is). *)
+
+val tune :
+  ?clock:Xpiler_util.Vclock.t ->
+  ?max_candidates:int ->
+  platform:Platform.t ->
+  Kernel.t ->
+  variant
+(** Apply every candidate (bounded by [max_candidates], default 64), keep the
+    compilable variant with the highest modelled throughput; the input kernel
+    itself is always a candidate, so the result never regresses. *)

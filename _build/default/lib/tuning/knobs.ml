@@ -1,0 +1,88 @@
+open Xpiler_ir
+open Xpiler_machine
+
+let split_factors (p : Platform.t) ~extent =
+  if extent <= 1 then []
+  else begin
+    let divs = Xpiler_smt.Solver.divisors extent in
+    let align = p.Platform.vector_align in
+    List.filter
+      (fun f ->
+        f > 1 && f < extent
+        &&
+        (* keep the inner extent aligned when the platform has a vector
+           granularity, so tensorization stays possible *)
+        (align <= 1 || f mod align = 0 || extent / f >= align))
+      divs
+  end
+
+let splittable_loops (k : Kernel.t) =
+  Stmt.fold
+    (fun acc s ->
+      match s with
+      | Stmt.For { var; extent = Expr.Int n; kind = Stmt.Serial; _ } when n > 1 ->
+        (var, n) :: acc
+      | _ -> acc)
+    [] k.Kernel.body
+  |> List.rev
+
+let reorderable_loops (k : Kernel.t) =
+  let found = ref [] in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.For { var; kind = Stmt.Serial; body = [ Stmt.For inner ]; _ }
+        when inner.kind = Stmt.Serial
+             && (not (Expr.contains_var var inner.lo))
+             && not (Expr.contains_var var inner.extent) ->
+        found := var :: !found
+      | _ -> ())
+    k.Kernel.body;
+  List.rev !found
+
+let pipelinable_loops (k : Kernel.t) =
+  let found = ref [] in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.For { var; body; kind = Stmt.Serial; _ } ->
+        let has_copy = List.exists (function Stmt.Memcpy _ -> true | _ -> false) body in
+        let has_compute =
+          List.exists (function Stmt.Memcpy _ | Stmt.Annot _ -> false | _ -> true) body
+        in
+        if has_copy && has_compute then found := var :: !found
+      | _ -> ())
+    k.Kernel.body;
+  List.rev !found
+
+let bindable_axes (p : Platform.t) (k : Kernel.t) =
+  let used = List.map fst k.Kernel.launch in
+  List.filter (fun ax -> not (List.mem ax used)) p.Platform.axes
+
+let space_size (p : Platform.t) (k : Kernel.t) =
+  let loops = splittable_loops k in
+  match p.Platform.id with
+  | Platform.Bang ->
+    (* large-granularity intrinsics consume the inner nest: only the
+       task-split of the outer loop is tunable, and the slice must keep the
+       64-element granularity *)
+    (match loops with
+    | (_, n) :: _ ->
+      max 1
+        (List.length
+           (List.filter (fun f -> (n / f) mod p.Platform.vector_align = 0)
+              (split_factors p ~extent:n)))
+    | [] -> 1)
+  | Platform.Cuda | Platform.Hip ->
+    (* block/thread tilings of the two outer loops, plus loop orders *)
+    let first_two = List.filteri (fun i _ -> i < 2) loops in
+    let tilings =
+      List.fold_left
+        (fun acc (_, n) -> acc * max 1 (List.length (split_factors p ~extent:n)))
+        1 first_two
+    in
+    tilings * max 1 (1 + List.length (reorderable_loops k))
+  | Platform.Vnni ->
+    (match loops with
+    | (_, n) :: _ -> max 1 (List.length (split_factors p ~extent:n))
+    | [] -> 1)

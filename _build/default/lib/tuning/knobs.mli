@@ -1,0 +1,29 @@
+open Xpiler_ir
+open Xpiler_machine
+
+(** Tuning-knob search spaces (paper §5.1).
+
+    Knob enumeration is what the loop-split meta-prompt of Figure 6 asks the
+    LLM for: all factorizations of a loop extent that cover the iteration
+    space without remainder, filtered by the platform's granularity. *)
+
+val split_factors : Platform.t -> extent:int -> int list
+(** Divisors of [extent]; on platforms with a vector granularity only factors
+    that keep the inner extent aligned are kept. *)
+
+val splittable_loops : Kernel.t -> (string * int) list
+(** Serial loops with constant extents > 1, outermost first. *)
+
+val reorderable_loops : Kernel.t -> string list
+(** Loops heading a perfect 2-nest (candidates for interchange). *)
+
+val pipelinable_loops : Kernel.t -> string list
+(** Loops containing both a copy and computation. *)
+
+val bindable_axes : Platform.t -> Kernel.t -> Axis.t list
+(** Platform axes not yet bound by the kernel's launch configuration. *)
+
+val space_size : Platform.t -> Kernel.t -> int
+(** Size of the intra-pass knob space: the product over splittable loops of
+    their factor counts, times the loop-order choices — the quantity the
+    paper reports as ~150 for a 512³ GEMM on the GPU vs ~10 on the MLU. *)

@@ -1,0 +1,148 @@
+open Xpiler_ir
+open Xpiler_machine
+module Pass = Xpiler_passes.Pass
+module Rng = Xpiler_util.Rng
+module Vclock = Xpiler_util.Vclock
+
+type config = {
+  max_depth : int;
+  simulations : int;
+  exploration : float;
+  seed : int;
+  intra_candidates : int;
+}
+
+let default_config =
+  { max_depth = 13; simulations = 512; exploration = 1.2; seed = 7; intra_candidates = 12 }
+
+type result = {
+  best_kernel : Kernel.t;
+  best_specs : Pass.spec list;
+  best_reward : float;
+  root_reward : float;
+  nodes_expanded : int;
+  simulations_run : int;
+}
+
+type node = {
+  kernel : Kernel.t;
+  specs : Pass.spec list;  (** from root *)
+  depth : int;
+  mutable untried : Pass.spec list;
+  mutable children : node list;
+  mutable visits : int;
+  mutable total : float;
+}
+
+let search ?(config = default_config) ?clock ?(buffer_sizes = []) ~platform kernel =
+  let rng = Rng.create config.seed in
+  let charge s =
+    match clock with Some c -> Vclock.charge c Vclock.Auto_tuning s | None -> ()
+  in
+  let nodes = ref 0 in
+  let best = ref (kernel, [], 0.0) in
+  (* reward = best intra-tuned throughput of the state; 0 for invalid states *)
+  let reward_cache : (string, float) Hashtbl.t = Hashtbl.create 128 in
+  let reward (k : Kernel.t) specs =
+    let key = Marshal.to_string k [] in
+    let r =
+      match Hashtbl.find_opt reward_cache key with
+      | Some r -> r
+      | None ->
+        let r =
+          match Checker.compile platform k with
+          | Error _ -> 0.0
+          | Ok () ->
+            charge 5.0;
+            let v = Intra.tune ?clock ~max_candidates:config.intra_candidates ~platform k in
+            v.Intra.throughput
+        in
+        Hashtbl.replace reward_cache key r;
+        r
+    in
+    let _, _, b = !best in
+    if r > b then best := (k, specs, r);
+    r
+  in
+  let actions k = Actions.enumerate ~buffer_sizes platform k in
+  let mk_node kernel specs depth =
+    incr nodes;
+    { kernel; specs; depth;
+      untried = (if depth >= config.max_depth then [] else actions kernel);
+      children = []; visits = 0; total = 0.0
+    }
+  in
+  let root = mk_node kernel [] 0 in
+  let root_reward = reward kernel [] in
+  let uct parent_visits n =
+    let mean = if n.visits = 0 then 0.0 else n.total /. float_of_int n.visits in
+    mean
+    +. config.exploration
+       *. sqrt (log (float_of_int (max parent_visits 1)) /. float_of_int (max n.visits 1))
+  in
+  let apply k spec = Pass.apply ~platform spec k in
+  (* random rollout from a state, returning the best reward encountered *)
+  let rec rollout k specs depth best_r =
+    if depth >= config.max_depth then best_r
+    else begin
+      match actions k with
+      | [] -> best_r
+      | acts -> (
+        let spec = Rng.choose rng acts in
+        match apply k spec with
+        | Error _ -> best_r
+        | Ok k' ->
+          let r = reward k' (specs @ [ spec ]) in
+          rollout k' (specs @ [ spec ]) (depth + 1) (Float.max best_r r))
+    end
+  in
+  let rec simulate node =
+    let r =
+      if node.untried <> [] then begin
+        (* expansion *)
+        let i = Rng.int rng (List.length node.untried) in
+        let spec = List.nth node.untried i in
+        node.untried <- List.filteri (fun j _ -> j <> i) node.untried;
+        match apply node.kernel spec with
+        | Error _ ->
+          (* inapplicable action: learn its 0 reward *)
+          0.0
+        | Ok k' ->
+          let child = mk_node k' (node.specs @ [ spec ]) (node.depth + 1) in
+          node.children <- child :: node.children;
+          let r0 = reward k' child.specs in
+          let r = rollout k' child.specs child.depth r0 in
+          child.visits <- child.visits + 1;
+          child.total <- child.total +. r;
+          r
+      end
+      else begin
+        match node.children with
+        | [] -> rollout node.kernel node.specs node.depth (reward node.kernel node.specs)
+        | children ->
+          let chosen =
+            List.fold_left
+              (fun acc c -> if uct node.visits c > uct node.visits acc then c else acc)
+              (List.hd children) (List.tl children)
+          in
+          simulate chosen
+      end
+    in
+    (* backpropagation *)
+    node.visits <- node.visits + 1;
+    node.total <- node.total +. r;
+    r
+  in
+  let sims = ref 0 in
+  for _ = 1 to config.simulations do
+    incr sims;
+    ignore (simulate root)
+  done;
+  let bk, bs, br = !best in
+  { best_kernel = bk;
+    best_specs = bs;
+    best_reward = br;
+    root_reward;
+    nodes_expanded = !nodes;
+    simulations_run = !sims
+  }

@@ -1,0 +1,42 @@
+open Xpiler_ir
+open Xpiler_machine
+module Pass = Xpiler_passes.Pass
+
+(** Inter-pass auto-tuning with Monte-Carlo tree search (paper §5.2).
+
+    The transcompilation is a Markov decision process: states are tensor
+    programs, actions are pass applications, and the reward is the best
+    modelled throughput of the state's intra-pass tuning space (Equations
+    3-4). UCT selection, random expansion, random rollout to the depth
+    limit, reward backpropagation along the path. The paper's defaults are
+    depth N = 13 and 512 simulations. *)
+
+type config = {
+  max_depth : int;
+  simulations : int;
+  exploration : float;
+  seed : int;
+  intra_candidates : int;  (** intra-pass variants measured per new state *)
+}
+
+val default_config : config
+
+type result = {
+  best_kernel : Kernel.t;
+  best_specs : Pass.spec list;
+  best_reward : float;
+  root_reward : float;  (** reward of the untransformed program *)
+  nodes_expanded : int;
+  simulations_run : int;
+}
+
+val search :
+  ?config:config ->
+  ?clock:Xpiler_util.Vclock.t ->
+  ?buffer_sizes:(string * int) list ->
+  platform:Platform.t ->
+  Kernel.t ->
+  result
+(** Only compilable states receive a positive reward, so the returned best
+    kernel always passes the platform checker (it may equal the input when
+    nothing better is found). *)

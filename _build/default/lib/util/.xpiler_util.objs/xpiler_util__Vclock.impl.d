@@ -1,0 +1,1 @@
+lib/util/vclock.ml: Array List

@@ -1,0 +1,43 @@
+type stage =
+  | Annotation
+  | Llm_transform
+  | Unit_test
+  | Bug_localization
+  | Smt_solving
+  | Auto_tuning
+
+let all_stages =
+  [ Annotation; Llm_transform; Unit_test; Bug_localization; Smt_solving; Auto_tuning ]
+
+let stage_name = function
+  | Annotation -> "annotation"
+  | Llm_transform -> "llm-transform"
+  | Unit_test -> "unit-test"
+  | Bug_localization -> "bug-localization"
+  | Smt_solving -> "smt-solving"
+  | Auto_tuning -> "auto-tuning"
+
+let stage_index = function
+  | Annotation -> 0
+  | Llm_transform -> 1
+  | Unit_test -> 2
+  | Bug_localization -> 3
+  | Smt_solving -> 4
+  | Auto_tuning -> 5
+
+type t = { totals : float array }
+
+let create () = { totals = Array.make 6 0.0 }
+
+let charge t stage seconds =
+  if seconds < 0.0 then invalid_arg "Vclock.charge: negative duration";
+  let i = stage_index stage in
+  t.totals.(i) <- t.totals.(i) +. seconds
+
+let elapsed t = Array.fold_left ( +. ) 0.0 t.totals
+let stage_total t stage = t.totals.(stage_index stage)
+let breakdown t = List.map (fun s -> (s, stage_total t s)) all_stages
+let reset t = Array.fill t.totals 0 6 0.0
+
+let merge dst src =
+  Array.iteri (fun i v -> dst.totals.(i) <- dst.totals.(i) +. v) src.totals

@@ -1,0 +1,29 @@
+(** Deterministic virtual clock.
+
+    The paper reports wall-clock compilation times (Figure 8) dominated by
+    LLM calls, SMT solving and auto-tuning measurements. In this sealed
+    reproduction each stage charges a modelled duration to a virtual clock so
+    that the breakdown is reproducible. Durations are in seconds. *)
+
+type t
+
+(** Stage labels matching Figure 8's breakdown. *)
+type stage =
+  | Annotation
+  | Llm_transform
+  | Unit_test
+  | Bug_localization
+  | Smt_solving
+  | Auto_tuning
+
+val stage_name : stage -> string
+val all_stages : stage list
+
+val create : unit -> t
+val charge : t -> stage -> float -> unit
+val elapsed : t -> float
+val stage_total : t -> stage -> float
+val breakdown : t -> (stage * float) list
+val reset : t -> unit
+val merge : t -> t -> unit
+(** [merge dst src] adds all of [src]'s charges into [dst]. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Hipify Idiom List Llm_baseline Opdef Platform Ppcg Printf Productivity Registry Vendor Xpiler_baselines Xpiler_ir Xpiler_machine Xpiler_manual Xpiler_ops

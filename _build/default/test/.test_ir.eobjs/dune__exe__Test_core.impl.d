@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Checker Config Filename Hashtbl List Opdef Platform Printf Registry Report String Sys Xpiler Xpiler_core Xpiler_ir Xpiler_lang Xpiler_machine Xpiler_ops Xpiler_util

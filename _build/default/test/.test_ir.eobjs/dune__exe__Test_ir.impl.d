@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Axis Builder Expr Intrin Kernel List QCheck QCheck_alcotest Scope Stdlib Stmt Validate Xpiler_ir

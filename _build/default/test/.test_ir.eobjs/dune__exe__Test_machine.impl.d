@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Axis Builder Checker Costmodel Dtype Expr Interp Intrin Kernel List Platform QCheck QCheck_alcotest Scope Stdlib Tensor Xpiler_ir Xpiler_machine Xpiler_ops Xpiler_util

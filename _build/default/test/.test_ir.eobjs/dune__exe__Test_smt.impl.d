@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Expr Fun List QCheck QCheck_alcotest Solver Stdlib Synth Xpiler_ir Xpiler_smt

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float List Printf QCheck QCheck_alcotest Xpiler_util

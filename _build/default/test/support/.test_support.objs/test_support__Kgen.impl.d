@@ -1,0 +1,1 @@
+test/support/kgen.ml: Builder Expr Kernel List Printf Stmt Xpiler_ir Xpiler_util

@@ -1,0 +1,1 @@
+test/support/tcommon.ml: Alcotest Interp Kernel List Option Printf Tensor Xpiler_ir Xpiler_machine Xpiler_util

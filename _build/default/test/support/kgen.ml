@@ -1,0 +1,114 @@
+(* Random well-formed kernel generator for property-based testing.
+
+   Generates small sequential kernels over two input buffers and one output
+   buffer, with nested loops, affine indices kept in bounds by construction,
+   guards, scalar accumulators and elementwise stores. Used to fuzz
+   parser/printer round-trips and pass-sequence semantic preservation. *)
+
+open Xpiler_ir
+module Rng = Xpiler_util.Rng
+
+let buf_size = 256
+
+(* an affine in-bounds index over the loop variables in scope:
+   sum coeff_i * v_i + c with the maximum value < buf_size *)
+let gen_index rng vars =
+  (* vars: (name, extent) innermost last *)
+  let rec build budget = function
+    | [] -> (Expr.Int (if budget > 0 then Rng.int rng (min budget 8) else 0), 0)
+    | (v, extent) :: rest ->
+      if Rng.bernoulli rng 0.7 && extent > 0 then begin
+        let max_coeff = max 1 (budget / extent) in
+        let coeff = 1 + Rng.int rng (min max_coeff 4) in
+        let e, used = build (budget - (coeff * (extent - 1))) rest in
+        ( Expr.simplify
+            (Expr.Binop (Expr.Add, Expr.Binop (Expr.Mul, Expr.Var v, Expr.Int coeff), e)),
+          used + (coeff * (extent - 1)) )
+      end
+      else build budget rest
+  in
+  let e, _ = build (buf_size - 1) vars in
+  e
+
+let gen_value rng vars depth =
+  let leaf () =
+    match Rng.int rng 4 with
+    | 0 -> Expr.Float (float_of_int (Rng.int_in rng (-3) 3) /. 2.0)
+    | _ ->
+      let b = Rng.choose rng [ "a"; "b" ] in
+      Expr.Load (b, gen_index rng vars)
+  in
+  let rec go depth =
+    if depth = 0 then leaf ()
+    else
+      match Rng.int rng 6 with
+      | 0 -> Expr.Binop (Expr.Add, go (depth - 1), go (depth - 1))
+      | 1 -> Expr.Binop (Expr.Sub, go (depth - 1), go (depth - 1))
+      | 2 -> Expr.Binop (Expr.Mul, go (depth - 1), go (depth - 1))
+      | 3 -> Expr.Binop (Expr.Max, go (depth - 1), go (depth - 1))
+      | 4 -> Expr.Unop (Expr.Tanh, go (depth - 1))
+      | _ -> leaf ()
+  in
+  go depth
+
+let gen_body rng vars fuel =
+  let rec stmts vars fuel =
+    if fuel <= 0 then []
+    else begin
+      let stmt, cost =
+        match Rng.int rng 10 with
+        | 0 | 1 | 2 when List.length vars < 3 ->
+          (* a nested loop *)
+          let extent = Rng.choose rng [ 2; 4; 8; 16 ] in
+          let v = Printf.sprintf "v%d" (List.length vars + Rng.int rng 100) in
+          if List.mem_assoc v vars then (None, 1)
+          else begin
+            let inner = stmts ((v, extent) :: vars) (fuel - 2) in
+            if inner = [] then (None, 1)
+            else
+              ( Some
+                  (Stmt.For
+                     { var = v; lo = Expr.Int 0; extent = Expr.Int extent;
+                       kind = Stmt.Serial; body = inner }),
+                3 )
+          end
+        | 3 when vars <> [] ->
+          (* a guard over part of the iteration space *)
+          let v, extent = Rng.choose rng vars in
+          let inner = stmts vars (fuel - 2) in
+          if inner = [] then (None, 1)
+          else
+            ( Some
+                (Stmt.If
+                   { cond =
+                       Expr.Binop (Expr.Lt, Expr.Var v, Expr.Int (max 1 (extent / 2)));
+                     then_ = inner;
+                     else_ = []
+                   }),
+              2 )
+        | _ ->
+          ( Some
+              (Stmt.Store
+                 { buf = "out"; index = gen_index rng vars; value = gen_value rng vars 2 }),
+            1 )
+      in
+      match stmt with
+      | Some s -> s :: stmts vars (fuel - cost)
+      | None -> stmts vars (fuel - cost)
+    end
+  in
+  stmts vars fuel
+
+let kernel rng =
+  let open Xpiler_ir in
+  let fuel = 3 + Rng.int rng 8 in
+  let body = gen_body rng [] fuel in
+  let body =
+    if body = [] then [ Stmt.Store { buf = "out"; index = Expr.Int 0; value = Expr.Float 1.0 } ]
+    else body
+  in
+  Kernel.make ~name:"fuzz"
+    ~params:[ Builder.buffer "a"; Builder.buffer "b"; Builder.buffer "out" ]
+    body
+
+let buffer_sizes = [ ("a", buf_size); ("b", buf_size); ("out", buf_size) ]

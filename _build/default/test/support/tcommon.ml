@@ -1,0 +1,59 @@
+(* Shared helpers for the test suites: run two kernels on identical random
+   inputs and compare every buffer. *)
+
+open Xpiler_ir
+open Xpiler_machine
+
+let make_args rng ?(buf_size = fun _ -> 1024) (k : Kernel.t) shapes =
+  List.map
+    (fun (p : Kernel.param) ->
+      if p.is_buffer then
+        (p.name, Interp.Buf (Tensor.random rng ~dtype:p.dtype (buf_size p.name)))
+      else
+        match List.assoc_opt p.name shapes with
+        | Some v -> (p.name, Interp.Scalar_int v)
+        | None -> (p.name, Interp.Scalar_int 8))
+    k.Kernel.params
+
+let clone_args args =
+  List.map
+    (fun (n, a) ->
+      match a with
+      | Interp.Buf t -> (n, Interp.Buf (Tensor.copy t))
+      | s -> (n, s))
+    args
+
+let buffers args =
+  List.filter_map (fun (n, a) -> match a with Interp.Buf t -> Some (n, t) | _ -> None) args
+
+(* Run both kernels on identical inputs; return the first buffer where the
+   results diverge, if any. Raises if either execution raises. *)
+let divergence ?buf_size ?(seed = 1234) ?(shapes = []) k1 k2 =
+  let rng = Xpiler_util.Rng.create seed in
+  let args1 = make_args rng ?buf_size k1 shapes in
+  let args2 = clone_args args1 in
+  let _ = Interp.run k1 args1 in
+  let _ = Interp.run k2 args2 in
+  List.find_opt
+    (fun ((n, t1) : string * Tensor.t) ->
+      match List.assoc_opt n (buffers args2) with
+      | Some t2 -> not (Tensor.allclose t1 t2)
+      | None -> true)
+    (buffers args1)
+  |> Option.map fst
+
+let check_equivalent ?buf_size ?seed ?shapes msg k1 k2 =
+  match divergence ?buf_size ?seed ?shapes k1 k2 with
+  | None -> ()
+  | Some buf ->
+    Alcotest.fail
+      (Printf.sprintf "%s: buffer %s diverged\n--- before ---\n%s\n--- after ---\n%s" msg buf
+         (Kernel.to_string k1) (Kernel.to_string k2))
+
+let expect_ok = function
+  | Ok v -> v
+  | Error m -> Alcotest.fail ("expected Ok, got Error: " ^ m)
+
+let expect_error msg = function
+  | Ok _ -> Alcotest.fail ("expected Error: " ^ msg)
+  | Error _ -> ()

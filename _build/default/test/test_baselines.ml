@@ -1,0 +1,177 @@
+open Xpiler_machine
+open Xpiler_ops
+open Xpiler_baselines
+
+let gemm = Registry.find_exn "gemm"
+let gemm_shape = List.hd gemm.Opdef.shapes
+let add = Registry.find_exn "add"
+let softmax = Registry.find_exn "softmax"
+let da = Registry.find_exn "deformable_attention"
+
+(* ---- bm25 / manual ------------------------------------------------------------ *)
+
+let test_bm25_ranking () =
+  let idx =
+    Xpiler_manual.Bm25.build
+      [ { Xpiler_manual.Bm25.id = "mlp"; text = "matrix multiplication mlp matmul weights" };
+        { id = "add"; text = "elementwise vector addition" };
+        { id = "exp"; text = "exponential activation" } ]
+  in
+  Alcotest.(check (list string)) "matmul query" [ "mlp" ] (Xpiler_manual.Bm25.top idx "matmul" 1);
+  Alcotest.(check (list string)) "add query" [ "add" ]
+    (Xpiler_manual.Bm25.top idx "vector addition" 1)
+
+let test_manual_lookup () =
+  (match Xpiler_manual.Corpus.lookup_op Platform.Bang Xpiler_ir.Intrin.Mlp with
+  | Some e -> Alcotest.(check string) "title" "__bang_mlp" e.title
+  | None -> Alcotest.fail "no mlp entry");
+  let hits = Xpiler_manual.Corpus.search Platform.Bang "gemm matrix multiplication" 3 in
+  Alcotest.(check bool) "mlp among top hits" true
+    (List.exists (fun (e : Xpiler_manual.Corpus.entry) -> e.title = "__bang_mlp") hits)
+
+let test_manual_entry_counts () =
+  List.iter
+    (fun pid ->
+      let n = List.length (Xpiler_manual.Corpus.entries pid) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s manual has entries (%d)" (Platform.id_to_string pid) n)
+        true (n >= 8))
+    [ Platform.Cuda; Platform.Bang; Platform.Hip; Platform.Vnni ]
+
+(* ---- vendor model -------------------------------------------------------------- *)
+
+let test_vendor_advantage_shape () =
+  Alcotest.(check bool) "matmul vendor strong" true (Vendor.advantage gemm > 1.0);
+  Alcotest.(check bool) "llm long-tail weak" true (Vendor.advantage da < 1.0)
+
+let test_vendor_speedup_bounds () =
+  let k = Idiom.source Platform.Bang gemm gemm_shape in
+  let s = Vendor.speedup_of_translated Platform.Bang gemm gemm_shape k in
+  (* the vendor is the tuned expert kernel with its advantage factor, so the
+     untuned expert can reach at most 1/advantage *)
+  Alcotest.(check bool)
+    (Printf.sprintf "0 < %.2f <= %.2f" s (1.0 /. Vendor.advantage gemm))
+    true
+    (s > 0.0 && s <= (1.0 /. Vendor.advantage gemm) +. 0.01)
+
+(* ---- hipify --------------------------------------------------------------------- *)
+
+let test_hipify_translates_simt () =
+  let r = Hipify.translate add (List.hd add.Opdef.shapes) in
+  Alcotest.(check bool) "compiles" true r.Hipify.compiles;
+  Alcotest.(check bool) "computes" true r.Hipify.computes
+
+let test_hipify_fails_on_wmma () =
+  let r = Hipify.translate gemm gemm_shape in
+  Alcotest.(check bool) "tensor-core source unsupported" false r.Hipify.compiles
+
+(* ---- ppcg ------------------------------------------------------------------------ *)
+
+let test_ppcg_accepts_affine () =
+  let r = Ppcg.translate add (List.hd add.Opdef.shapes) in
+  Alcotest.(check bool) "accepted" true r.Ppcg.accepted;
+  Alcotest.(check bool) "computes" true r.Ppcg.computes;
+  let r = Ppcg.translate gemm gemm_shape in
+  Alcotest.(check bool) "gemm reduction accepted" true r.Ppcg.accepted;
+  Alcotest.(check bool) "gemm computes" true r.Ppcg.computes
+
+let test_ppcg_rejects_scalar_flow () =
+  let r = Ppcg.translate softmax (List.hd softmax.Opdef.shapes) in
+  Alcotest.(check bool) "softmax rejected" false r.Ppcg.accepted
+
+let test_ppcg_rejects_dynamic_control () =
+  let r = Ppcg.translate da (List.hd da.Opdef.shapes) in
+  Alcotest.(check bool) "deformable attention rejected" false r.Ppcg.accepted;
+  match r.Ppcg.reason with
+  | Some _ -> ()
+  | None -> Alcotest.fail "no reason reported"
+
+(* ---- llm baselines ----------------------------------------------------------------- *)
+
+let test_llm_baseline_ordering () =
+  (* few-shot compiles at least as often as zero-shot over a sample *)
+  let cs =
+    List.filter
+      (fun (c : Registry.case) -> List.hd c.op.Opdef.shapes == c.shape)
+      (Registry.cases ())
+  in
+  let count m =
+    List.fold_left
+      (fun acc (c : Registry.case) ->
+        let r =
+          Llm_baseline.translate m ~src:Platform.Cuda ~dst:Platform.Bang ~op:c.op
+            ~shape:c.shape
+        in
+        if r.Llm_baseline.compiles then acc + 1 else acc)
+      0 cs
+  in
+  let zero = count Llm_baseline.Gpt4_zero and few = count Llm_baseline.Gpt4_few in
+  Alcotest.(check bool) (Printf.sprintf "zero %d <= few %d" zero few) true (zero <= few)
+
+let test_llm_baseline_easy_direction () =
+  (* CUDA -> HIP is nearly free even zero-shot *)
+  let cs =
+    List.filter
+      (fun (c : Registry.case) -> List.hd c.op.Opdef.shapes == c.shape)
+      (Registry.cases ())
+  in
+  let ok =
+    List.fold_left
+      (fun acc (c : Registry.case) ->
+        let r =
+          Llm_baseline.translate Llm_baseline.O1_zero ~src:Platform.Cuda ~dst:Platform.Hip
+            ~op:c.op ~shape:c.shape
+        in
+        if r.Llm_baseline.computes then acc + 1 else acc)
+      0 cs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "cuda->hip zero-shot mostly works (%d/%d)" ok (List.length cs))
+    true
+    (ok * 3 >= List.length cs * 2)
+
+(* ---- productivity -------------------------------------------------------------------- *)
+
+let test_productivity_shape () =
+  let entries = Productivity.study ~src:Platform.Cuda ~dst:Platform.Bang () in
+  Alcotest.(check int) "two coders" 2 (List.length entries);
+  List.iter
+    (fun (e : Productivity.entry) ->
+      Alcotest.(check bool) "saves time" true (e.time_saving > 5.0);
+      Alcotest.(check bool) "manual hours positive" true (e.manual_hours > 1.0))
+    entries;
+  let senior = List.find (fun (e : Productivity.entry) -> e.coder = Productivity.Senior) entries in
+  let junior = List.find (fun (e : Productivity.entry) -> e.coder = Productivity.Junior) entries in
+  Alcotest.(check bool) "junior manual slower" true
+    (junior.manual_hours > senior.manual_hours);
+  Alcotest.(check bool) "junior manual perf lower or equal" true
+    (junior.manual_perf <= senior.manual_perf);
+  Alcotest.(check bool) "xpiler below senior manual on the DSA" true
+    (senior.xpiler_perf <= 1.0)
+
+let () =
+  Alcotest.run "baselines"
+    [ ( "manual",
+        [ Alcotest.test_case "bm25 ranking" `Quick test_bm25_ranking;
+          Alcotest.test_case "corpus lookup" `Quick test_manual_lookup;
+          Alcotest.test_case "entry counts" `Quick test_manual_entry_counts
+        ] );
+      ( "vendor",
+        [ Alcotest.test_case "advantage shape" `Quick test_vendor_advantage_shape;
+          Alcotest.test_case "speedup bounds" `Quick test_vendor_speedup_bounds
+        ] );
+      ( "hipify",
+        [ Alcotest.test_case "translates simt" `Quick test_hipify_translates_simt;
+          Alcotest.test_case "fails on wmma" `Quick test_hipify_fails_on_wmma
+        ] );
+      ( "ppcg",
+        [ Alcotest.test_case "accepts affine" `Quick test_ppcg_accepts_affine;
+          Alcotest.test_case "rejects scalar flow" `Quick test_ppcg_rejects_scalar_flow;
+          Alcotest.test_case "rejects dynamic control" `Quick test_ppcg_rejects_dynamic_control
+        ] );
+      ( "llm",
+        [ Alcotest.test_case "ordering" `Quick test_llm_baseline_ordering;
+          Alcotest.test_case "easy direction" `Quick test_llm_baseline_easy_direction
+        ] );
+      ("productivity", [ Alcotest.test_case "table-8 shape" `Quick test_productivity_shape ])
+    ]

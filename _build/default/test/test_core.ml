@@ -1,0 +1,181 @@
+open Xpiler_machine
+open Xpiler_ops
+open Xpiler_core
+module Vclock = Xpiler_util.Vclock
+
+let gemm = Registry.find_exn "gemm"
+let gemm_shape = List.hd gemm.Opdef.shapes
+let relu = Registry.find_exn "relu"
+let relu_shape = List.hd relu.Opdef.shapes
+let softmax = Registry.find_exn "softmax"
+let softmax_shape = List.hd softmax.Opdef.shapes
+
+let run ?config ~src ~dst op shape =
+  Xpiler.transcompile ?config ~src ~dst ~op ~shape ()
+
+(* ---- end-to-end translation, all 12 directions on one easy operator ---------- *)
+
+let test_all_directions_relu () =
+  let plats = [ Platform.Cuda; Platform.Bang; Platform.Hip; Platform.Vnni ] in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun dst ->
+          if src <> dst then begin
+            let o = run ~src ~dst relu relu_shape in
+            match o.Xpiler.status with
+            | Xpiler.Success -> ()
+            | s ->
+              Alcotest.fail
+                (Printf.sprintf "%s->%s: %s" (Platform.id_to_string src)
+                   (Platform.id_to_string dst) (Xpiler.status_to_string s))
+          end)
+        plats)
+    plats
+
+let test_gemm_cuda_to_bang_tensorized () =
+  let o = run ~src:Platform.Cuda ~dst:Platform.Bang gemm gemm_shape in
+  Alcotest.(check bool) "success" true (o.Xpiler.status = Xpiler.Success);
+  match o.Xpiler.kernel with
+  | Some k ->
+    Alcotest.(check bool) "uses mlp" true
+      (List.exists
+         (fun (i : Xpiler_ir.Intrin.t) -> Xpiler_ir.Intrin.equal_op i.op Xpiler_ir.Intrin.Mlp)
+         (Xpiler_ir.Stmt.intrinsics k.Xpiler_ir.Kernel.body))
+  | None -> Alcotest.fail "no kernel"
+
+let test_target_text_is_valid_dialect () =
+  let o = run ~src:Platform.Cuda ~dst:Platform.Bang softmax softmax_shape in
+  match (o.Xpiler.status, o.Xpiler.target_text) with
+  | Xpiler.Success, Some text -> (
+    match Xpiler_lang.Parser.parse_platform Platform.Bang text with
+    | k ->
+      Alcotest.(check bool) "re-parsed kernel compiles" true
+        (Checker.compile Platform.bang k = Ok ())
+    | exception Xpiler_lang.Parser.Parse_error m -> Alcotest.fail ("unparseable output: " ^ m))
+  | s, _ ->
+    Alcotest.fail
+      (match s with
+      | Xpiler.Success -> "missing text"
+      | s -> Xpiler.status_to_string s)
+
+let test_deterministic () =
+  let o1 = run ~src:Platform.Cuda ~dst:Platform.Bang gemm gemm_shape in
+  let o2 = run ~src:Platform.Cuda ~dst:Platform.Bang gemm gemm_shape in
+  Alcotest.(check bool) "same status" true (o1.Xpiler.status = o2.Xpiler.status);
+  Alcotest.(check bool) "same text" true (o1.Xpiler.target_text = o2.Xpiler.target_text)
+
+let test_seed_changes_faults () =
+  (* different seeds explore different fault draws over many attempts *)
+  let distinct = Hashtbl.create 8 in
+  for seed = 0 to 7 do
+    let config = Config.with_seed Config.default seed in
+    let o = run ~config ~src:Platform.Cuda ~dst:Platform.Bang gemm gemm_shape in
+    Hashtbl.replace distinct (List.length o.Xpiler.faults_seen) ()
+  done;
+  Alcotest.(check bool) "fault counts vary across seeds" true (Hashtbl.length distinct > 1)
+
+(* ---- ablations ---------------------------------------------------------------- *)
+
+let count_success config ~src ~dst cases =
+  List.fold_left
+    (fun acc (c : Registry.case) ->
+      let o = run ~config ~src ~dst c.op c.shape in
+      if o.Xpiler.status = Xpiler.Success then acc + 1 else acc)
+    0 cases
+
+let test_smt_ablation_ordering () =
+  (* over a case sample, full >= w/o SMT on the hardest direction *)
+  let cs =
+    List.filter
+      (fun (c : Registry.case) -> List.hd c.op.Opdef.shapes == c.shape)
+      (Registry.cases ())
+  in
+  let full = count_success Config.default ~src:Platform.Cuda ~dst:Platform.Bang cs in
+  let wo = count_success Config.without_smt ~src:Platform.Cuda ~dst:Platform.Bang cs in
+  Alcotest.(check bool)
+    (Printf.sprintf "full (%d) >= w/o SMT (%d)" full wo)
+    true (full >= wo)
+
+let test_clock_breakdown_populated () =
+  let o = run ~src:Platform.Cuda ~dst:Platform.Bang softmax softmax_shape in
+  let clock = o.Xpiler.clock in
+  Alcotest.(check bool) "annotation charged" true
+    (Vclock.stage_total clock Vclock.Annotation > 0.0);
+  Alcotest.(check bool) "llm charged" true
+    (Vclock.stage_total clock Vclock.Llm_transform > 0.0);
+  Alcotest.(check bool) "unit tests charged" true
+    (Vclock.stage_total clock Vclock.Unit_test > 0.0)
+
+let test_tuned_config_improves_throughput () =
+  let o_plain = run ~src:Platform.Cuda ~dst:Platform.Bang gemm gemm_shape in
+  let o_tuned =
+    run ~config:Config.tuned ~src:Platform.Cuda ~dst:Platform.Bang gemm gemm_shape
+  in
+  match (o_plain.Xpiler.throughput, o_tuned.Xpiler.throughput) with
+  | Some p, Some t ->
+    Alcotest.(check bool) (Printf.sprintf "tuned %.3g >= plain %.3g" t p) true (t >= p)
+  | _ -> Alcotest.fail "missing throughput"
+
+let test_complexity_multiplier_ordering () =
+  let da = Registry.find_exn "deformable_attention" in
+  let da_k = da.Opdef.serial (List.hd da.Opdef.shapes) in
+  let relu_k = relu.Opdef.serial relu_shape in
+  Alcotest.(check bool) "deformable attention is the hardest" true
+    (Xpiler.complexity_multiplier da_k > 3.0 *. Xpiler.complexity_multiplier relu_k)
+
+(* ---- report ------------------------------------------------------------------ *)
+
+let test_report_render_and_csv () =
+  let r =
+    Report.make ~title:"t" ~cols:[ "a"; "b" ]
+      [ ("row1", [ Report.Pct 97.61; Report.Pair (100.0, 91.7) ]);
+        ("row2", [ Report.Ratio 0.784; Report.Count 42 ]);
+        ("comma, quote\"", [ Report.Text "x"; Report.Num 1.5 ]) ]
+  in
+  let text = Report.render r in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "title" true (contains text "=== t ===");
+  Alcotest.(check bool) "pct" true (contains text "97.6");
+  Alcotest.(check bool) "pair" true (contains text "100.0 / 91.7");
+  Alcotest.(check bool) "ratio" true (contains text "0.78x");
+  let csv = Report.to_csv r in
+  Alcotest.(check bool) "csv header" true (contains csv ",a,b");
+  Alcotest.(check bool) "csv escaping" true (contains csv "\"comma, quote\"\"\"");
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "xpiler_report_test" in
+  let path = Report.save_csv ~dir ~name:"t" r in
+  Alcotest.(check bool) "file written" true (Sys.file_exists path);
+  Sys.remove path
+
+(* ---- config ----------------------------------------------------------------- *)
+
+let test_configs () =
+  Alcotest.(check bool) "default uses smt" true Config.default.Config.use_smt;
+  Alcotest.(check bool) "ablation disables smt" false Config.without_smt.Config.use_smt;
+  Alcotest.(check bool) "self-debug flag" true
+    Config.without_smt_self_debug.Config.self_debugging;
+  Alcotest.(check bool) "tuned tunes" true Config.tuned.Config.tune
+
+let () =
+  Alcotest.run "core"
+    [ ( "end-to-end",
+        [ Alcotest.test_case "all 12 directions (relu)" `Quick test_all_directions_relu;
+          Alcotest.test_case "gemm tensorized on bang" `Quick test_gemm_cuda_to_bang_tensorized;
+          Alcotest.test_case "target text valid" `Quick test_target_text_is_valid_dialect;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seeds vary" `Quick test_seed_changes_faults
+        ] );
+      ( "ablations",
+        [ Alcotest.test_case "smt ordering" `Slow test_smt_ablation_ordering;
+          Alcotest.test_case "clock breakdown" `Quick test_clock_breakdown_populated;
+          Alcotest.test_case "tuning improves" `Quick test_tuned_config_improves_throughput;
+          Alcotest.test_case "complexity ordering" `Quick test_complexity_multiplier_ordering
+        ] );
+      ( "report",
+        [ Alcotest.test_case "render and csv" `Quick test_report_render_and_csv ] );
+      ("config", [ Alcotest.test_case "variants" `Quick test_configs ])
+    ]

@@ -1,0 +1,132 @@
+(* Fuzzing over randomly generated kernels: the strongest invariants in the
+   system — front-end round trips and pass-sequence semantic preservation. *)
+
+open Xpiler_ir
+open Xpiler_machine
+open Xpiler_lang
+module Pass = Xpiler_passes.Pass
+module Rng = Xpiler_util.Rng
+module Kgen = Test_support.Kgen
+module Tcommon = Test_support.Tcommon
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 1_000_000)
+
+let kernel_of_seed seed = Kgen.kernel (Rng.create seed)
+let buf_size b = List.assoc b Kgen.buffer_sizes
+
+(* every generated kernel is well-formed and executes without error *)
+let prop_generator_sound =
+  QCheck.Test.make ~name:"generated kernels are valid and executable" ~count:200 arb_seed
+    (fun seed ->
+      let k = kernel_of_seed seed in
+      match Validate.check k with
+      | Error _ -> false
+      | Ok () -> (
+        let rng = Rng.create (seed + 1) in
+        let args = Tcommon.make_args rng ~buf_size k [] in
+        match Interp.run k args with _ -> true | exception _ -> false))
+
+(* printer/parser round trip on every dialect that can express the kernel *)
+let roundtrip_dialect d seed =
+  let k = kernel_of_seed seed in
+  let text = Codegen.emit d k in
+  match Parser.parse d text with
+  | k' -> Tcommon.divergence ~buf_size ~seed:(seed + 7) k k' = None
+  | exception Parser.Parse_error _ -> false
+
+let prop_roundtrip_vnni =
+  QCheck.Test.make ~name:"roundtrip through C (vnni dialect)" ~count:150 arb_seed
+    (roundtrip_dialect Dialect.vnni)
+
+let prop_roundtrip_cuda =
+  QCheck.Test.make ~name:"roundtrip through CUDA C" ~count:150 arb_seed
+    (roundtrip_dialect Dialect.cuda)
+
+let prop_roundtrip_bang =
+  QCheck.Test.make ~name:"roundtrip through BANG C" ~count:150 arb_seed
+    (roundtrip_dialect Dialect.bang)
+
+(* random applicable pass sequences preserve semantics *)
+let prop_pass_sequences_preserve =
+  QCheck.Test.make ~name:"random pass sequences preserve semantics" ~count:80 arb_seed
+    (fun seed ->
+      let k0 = kernel_of_seed seed in
+      let rng = Rng.create (seed * 31 + 5) in
+      let platform = Platform.bang in
+      let rec apply k n =
+        if n = 0 then k
+        else begin
+          match
+            Xpiler_tuning.Actions.enumerate ~buffer_sizes:Kgen.buffer_sizes platform k
+          with
+          | [] -> k
+          | acts -> (
+            match Pass.apply ~platform (Rng.choose rng acts) k with
+            | Ok k' -> apply k' (n - 1)
+            | Error _ -> apply k (n - 1))
+        end
+      in
+      let k' = apply k0 (1 + Rng.int rng 5) in
+      Tcommon.divergence ~buf_size ~seed:(seed + 13) k0 k' = None)
+
+(* the intra-pass tuner's chosen variant is always equivalent *)
+let prop_intra_preserves =
+  QCheck.Test.make ~name:"intra-pass tuning preserves semantics" ~count:60 arb_seed
+    (fun seed ->
+      let k = kernel_of_seed seed in
+      let v = Xpiler_tuning.Intra.tune ~platform:Platform.cuda k in
+      Tcommon.divergence ~buf_size ~seed:(seed + 3) k v.Xpiler_tuning.Intra.kernel = None)
+
+(* detail-level fault injection + repair round trip: every repairable fault
+   class the oracle injects is fixed by the repairer on these kernels *)
+let prop_inject_repair =
+  QCheck.Test.make ~name:"injected detail faults are repaired or benign" ~count:40 arb_seed
+    (fun seed ->
+      let k = kernel_of_seed seed in
+      (* wrap as a pseudo-operator so the unit-test oracle applies *)
+      let op : Xpiler_ops.Opdef.t =
+        { name = "fuzz";
+          cls = Xpiler_ops.Opdef.Elementwise;
+          shapes = [ [] ];
+          buffers =
+            List.map
+              (fun (name, size) ->
+                { Xpiler_ops.Opdef.buf_name = name; dtype = Dtype.F32;
+                  size = (fun _ -> size);
+                  is_output = String.equal name "out"
+                })
+              Kgen.buffer_sizes;
+          serial = (fun _ -> k);
+          flops = (fun _ -> 1.0)
+        }
+      in
+      let rng = Rng.create (seed + 99) in
+      match Xpiler_neural.Fault.inject_index rng k with
+      | None -> true
+      | Some (broken, _) -> (
+        match Xpiler_ops.Unit_test.check ~trials:1 op [] broken with
+        | Xpiler_ops.Unit_test.Pass -> true (* benign *)
+        | Xpiler_ops.Unit_test.Fail _ -> (
+          match
+            Xpiler_repair.Repairer.repair ~platform:Platform.vnni ~op ~shape:[] broken
+          with
+          | Xpiler_repair.Repairer.Repaired { kernel; _ } ->
+            Xpiler_ops.Unit_test.check op [] kernel = Xpiler_ops.Unit_test.Pass
+          | Xpiler_repair.Repairer.Gave_up _ ->
+            (* acceptable only when the fault hides under control flow *)
+            (Xpiler_repair.Localize.localize ~op ~shape:[] broken).Xpiler_repair.Localize
+              .unrepairable
+            <> [])))
+
+let () =
+  (* pinned RNG: the fuzz corpus is reproducible run to run (development used
+     many seeds; see DESIGN.md for the bugs the campaign caught) *)
+  let rand = Random.State.make [| 20250706 |] in
+  Alcotest.run "fuzz"
+    [ ( "properties",
+        List.map
+          (QCheck_alcotest.to_alcotest ~rand)
+          [ prop_generator_sound; prop_roundtrip_vnni; prop_roundtrip_cuda;
+            prop_roundtrip_bang; prop_pass_sequences_preserve; prop_intra_preserves;
+            prop_inject_repair ] )
+    ]

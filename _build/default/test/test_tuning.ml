@@ -1,0 +1,154 @@
+open Xpiler_ir
+open Xpiler_machine
+open Xpiler_ops
+open Xpiler_tuning
+open Test_support.Tcommon
+
+let gemm = Registry.find_exn "gemm"
+let gemm_shape = [ ("m", 32); ("n", 64); ("k", 64) ]
+let serial () = gemm.Opdef.serial gemm_shape
+
+let buffer_sizes =
+  List.map (fun (b : Opdef.buffer_spec) -> (b.buf_name, b.size gemm_shape)) gemm.Opdef.buffers
+
+(* ---- knobs -------------------------------------------------------------- *)
+
+let test_split_factors () =
+  let fs = Knobs.split_factors Platform.cuda ~extent:64 in
+  Alcotest.(check (list int)) "divisors" [ 2; 4; 8; 16; 32 ] fs;
+  List.iter
+    (fun f -> Alcotest.(check bool) "divides" true (512 mod f = 0))
+    (Knobs.split_factors Platform.bang ~extent:512)
+
+let test_splittable_loops () =
+  let loops = Knobs.splittable_loops (serial ()) in
+  Alcotest.(check (list (pair string int))) "loops"
+    [ ("i", 32); ("j", 64); ("p", 64) ]
+    loops
+
+let test_space_size_ordering () =
+  let big = [ ("m", 512); ("n", 512); ("k", 512) ] in
+  let k = gemm.Opdef.serial big in
+  let gpu = Knobs.space_size Platform.cuda k in
+  let mlu = Knobs.space_size Platform.bang k in
+  Alcotest.(check bool)
+    (Printf.sprintf "gpu space (%d) much larger than mlu (%d)" gpu mlu)
+    true
+    (gpu > 10 * mlu && mlu >= 1)
+
+let test_bindable_axes () =
+  let axes = Knobs.bindable_axes Platform.bang (serial ()) in
+  Alcotest.(check bool) "taskId available" true (List.mem Axis.Task_id axes)
+
+(* ---- intra-pass tuning ----------------------------------------------------- *)
+
+let test_intra_never_regresses () =
+  let k = serial () in
+  let v = Intra.tune ~platform:Platform.cuda k in
+  let base = Costmodel.throughput Platform.cuda k ~shapes:[] in
+  Alcotest.(check bool) "no regression" true (v.Intra.throughput >= base)
+
+let test_intra_result_correct () =
+  let k = serial () in
+  let v = Intra.tune ~platform:Platform.cuda k in
+  check_equivalent ~buf_size:(fun b -> List.assoc b buffer_sizes) "intra variant" k
+    v.Intra.kernel
+
+let test_intra_clock_charged () =
+  let clock = Xpiler_util.Vclock.create () in
+  let _ = Intra.tune ~clock ~platform:Platform.cuda (serial ()) in
+  Alcotest.(check bool) "tuning time recorded" true
+    (Xpiler_util.Vclock.stage_total clock Xpiler_util.Vclock.Auto_tuning > 0.0)
+
+(* ---- actions ------------------------------------------------------------------ *)
+
+let test_actions_exclude_reduction_bind () =
+  let acts = Actions.enumerate ~buffer_sizes Platform.bang (serial ()) in
+  List.iter
+    (fun spec ->
+      match spec with
+      | Xpiler_passes.Pass.Loop_bind { var = "p"; _ } ->
+        Alcotest.fail "reduction loop must not be bindable"
+      | _ -> ())
+    acts;
+  Alcotest.(check bool) "has actions" true (acts <> [])
+
+let test_actions_cache_targets_wram_for_weights () =
+  (* after tensorization, the second matmul operand prefers WRAM *)
+  let k = Idiom.source Platform.Bang gemm gemm_shape in
+  let acts = Actions.enumerate ~buffer_sizes Platform.bang k in
+  ignore acts (* staged already: no duplicate cache actions *);
+  let has_dup_cache =
+    List.exists
+      (function Xpiler_passes.Pass.Cache { buf = "A"; _ } -> true | _ -> false)
+      acts
+  in
+  Alcotest.(check bool) "no duplicate staging" false has_dup_cache
+
+(* ---- MCTS ----------------------------------------------------------------------- *)
+
+let test_mcts_improves_gemm () =
+  let config = { Mcts.default_config with simulations = 64; max_depth = 8 } in
+  let r = Mcts.search ~config ~buffer_sizes ~platform:Platform.bang (serial ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reward improved (%.3g -> %.3g)" r.Mcts.root_reward r.Mcts.best_reward)
+    true
+    (r.Mcts.best_reward > (2.0 *. r.Mcts.root_reward));
+  (* the best kernel compiles and is semantically equivalent *)
+  (match Checker.compile Platform.bang r.Mcts.best_kernel with
+  | Ok () -> ()
+  | Error es -> Alcotest.fail (Checker.errors_to_string es));
+  Alcotest.(check bool) "still correct" true
+    (Unit_test.check gemm gemm_shape r.Mcts.best_kernel = Unit_test.Pass)
+
+let test_mcts_deterministic () =
+  let config = { Mcts.default_config with simulations = 24; max_depth = 6 } in
+  let r1 = Mcts.search ~config ~buffer_sizes ~platform:Platform.bang (serial ()) in
+  let r2 = Mcts.search ~config ~buffer_sizes ~platform:Platform.bang (serial ()) in
+  Alcotest.(check bool) "same reward" true (r1.Mcts.best_reward = r2.Mcts.best_reward);
+  Alcotest.(check bool) "same specs" true (r1.Mcts.best_specs = r2.Mcts.best_specs)
+
+let test_mcts_budget_monotone_ish () =
+  (* more simulations never lose reward (same seed, supersets of the search) *)
+  let run sims =
+    let config = { Mcts.default_config with simulations = sims; max_depth = 8 } in
+    (Mcts.search ~config ~buffer_sizes ~platform:Platform.bang (serial ())).Mcts.best_reward
+  in
+  let r8 = run 8 and r64 = run 64 in
+  Alcotest.(check bool) (Printf.sprintf "8 sims %.3g <= 64 sims %.3g" r8 r64) true (r8 <= r64)
+
+let prop_mcts_best_is_valid =
+  QCheck.Test.make ~name:"MCTS best kernel always compiles" ~count:6
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let config =
+        { Mcts.default_config with simulations = 16; max_depth = 5; seed }
+      in
+      let r = Mcts.search ~config ~buffer_sizes ~platform:Platform.bang (serial ()) in
+      Checker.compile Platform.bang r.Mcts.best_kernel = Ok ())
+
+let () =
+  Alcotest.run "tuning"
+    [ ( "knobs",
+        [ Alcotest.test_case "split factors" `Quick test_split_factors;
+          Alcotest.test_case "splittable loops" `Quick test_splittable_loops;
+          Alcotest.test_case "space-size ordering" `Quick test_space_size_ordering;
+          Alcotest.test_case "bindable axes" `Quick test_bindable_axes
+        ] );
+      ( "intra",
+        [ Alcotest.test_case "never regresses" `Quick test_intra_never_regresses;
+          Alcotest.test_case "result correct" `Quick test_intra_result_correct;
+          Alcotest.test_case "clock charged" `Quick test_intra_clock_charged
+        ] );
+      ( "actions",
+        [ Alcotest.test_case "no reduction bind" `Quick test_actions_exclude_reduction_bind;
+          Alcotest.test_case "no duplicate staging" `Quick
+            test_actions_cache_targets_wram_for_weights
+        ] );
+      ( "mcts",
+        [ Alcotest.test_case "improves gemm" `Quick test_mcts_improves_gemm;
+          Alcotest.test_case "deterministic" `Quick test_mcts_deterministic;
+          Alcotest.test_case "budget monotone" `Quick test_mcts_budget_monotone_ish
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_mcts_best_is_valid ])
+    ]

@@ -1,0 +1,92 @@
+module Rng = Xpiler_util.Rng
+module Vclock = Xpiler_util.Vclock
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail (Printf.sprintf "out of range: %d" v)
+  done
+
+let test_rng_int_in () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.fail "range"
+  done
+
+let test_rng_split_independent () =
+  let r = Rng.create 1 in
+  let a = Rng.split r in
+  let b = Rng.split r in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_choose_weighted () =
+  let r = Rng.create 3 in
+  let hits = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.choose_weighted r [ (0.9, `A); (0.1, `B) ] = `A then incr hits
+  done;
+  Alcotest.(check bool) "weighting respected" true (!hits > 800)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 5 in
+  let xs = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let ys = Rng.shuffle r xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort compare ys)
+
+let test_vclock () =
+  let c = Vclock.create () in
+  Vclock.charge c Vclock.Annotation 10.0;
+  Vclock.charge c Vclock.Smt_solving 5.0;
+  Vclock.charge c Vclock.Annotation 2.5;
+  Alcotest.(check (float 1e-9)) "stage total" 12.5 (Vclock.stage_total c Vclock.Annotation);
+  Alcotest.(check (float 1e-9)) "elapsed" 17.5 (Vclock.elapsed c);
+  let d = Vclock.create () in
+  Vclock.charge d Vclock.Unit_test 1.0;
+  Vclock.merge c d;
+  Alcotest.(check (float 1e-9)) "merged" 18.5 (Vclock.elapsed c);
+  Vclock.reset c;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Vclock.elapsed c)
+
+let test_vclock_negative () =
+  let c = Vclock.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Vclock.charge: negative duration")
+    (fun () -> Vclock.charge c Vclock.Annotation (-1.0))
+
+let prop_bernoulli_frequency =
+  QCheck.Test.make ~name:"bernoulli frequency tracks p" ~count:20
+    QCheck.(float_range 0.1 0.9)
+    (fun p ->
+      let r = Rng.create 77 in
+      let hits = ref 0 in
+      let n = 5000 in
+      for _ = 1 to n do
+        if Rng.bernoulli r p then incr hits
+      done;
+      Float.abs ((float_of_int !hits /. float_of_int n) -. p) < 0.05)
+
+let () =
+  Alcotest.run "util"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "int_in" `Quick test_rng_int_in;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "weighted choice" `Quick test_rng_choose_weighted;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutation
+        ] );
+      ( "vclock",
+        [ Alcotest.test_case "charge/merge/reset" `Quick test_vclock;
+          Alcotest.test_case "negative rejected" `Quick test_vclock_negative
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_bernoulli_frequency ])
+    ]
