@@ -115,6 +115,79 @@ let list_ops_cmd =
   let info = Cmd.info "list-ops" ~doc:"List the benchmark operators." in
   Cmd.v info Term.(const list_ops $ const ())
 
+(* ---- lint --------------------------------------------------------------------- *)
+
+(* run the platform checker plus the static analyzer over idiom kernels; the
+   same pre-validation stage the pipeline applies after every LLM pass *)
+let lint_kernel ~platform ~extents kernel =
+  let checker_diags =
+    match Checker.compile (Platform.of_id platform) kernel with
+    | Ok () -> []
+    | Error es -> es
+  in
+  let analyzer_diags =
+    Xpiler_analysis.Analyzer.analyze ~extents kernel
+    |> List.map (fun (f : Xpiler_analysis.Analyzer.finding) -> f.Xpiler_analysis.Analyzer.diag)
+  in
+  checker_diags @ analyzer_diags
+
+let lint op_filter shape platform_filter all =
+  let ops =
+    match (op_filter, all) with
+    | Some name, _ -> [ find_op name ]
+    | None, true -> Registry.all
+    | None, false ->
+      Printf.eprintf "lint: pass --op NAME or --all\n";
+      exit 2
+  in
+  let platforms =
+    match platform_filter with
+    | Some p -> [ p ]
+    | None -> List.map (fun (p : Platform.t) -> p.Platform.id) Platform.all
+  in
+  let dirty = ref 0 and checked = ref 0 in
+  List.iter
+    (fun (op : Opdef.t) ->
+      let shape = parse_shape op shape in
+      let extents =
+        List.map (fun (b : Opdef.buffer_spec) -> (b.buf_name, b.size shape)) op.Opdef.buffers
+      in
+      List.iter
+        (fun pid ->
+          incr checked;
+          let kernel = Idiom.source pid op shape in
+          match lint_kernel ~platform:pid ~extents kernel with
+          | [] -> ()
+          | diags ->
+            if List.exists Xpiler_ir.Diag.is_error diags then incr dirty;
+            Printf.printf "%s @ %s:\n" op.name (Platform.id_to_string pid);
+            List.iter (fun d -> Printf.printf "  %s\n" (Xpiler_ir.Diag.to_string d)) diags)
+        platforms)
+    ops;
+  Printf.printf "%d kernels linted, %d with errors\n" !checked !dirty;
+  if !dirty > 0 then exit 1
+
+let lint_cmd =
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "Statically check kernels: platform compilation rules plus race, barrier, \
+         bounds and def-use analysis."
+  in
+  let op_opt =
+    let doc = "Operator to lint (default with --all: every operator)." in
+    Arg.(value & opt (some string) None & info [ "op" ] ~docv:"OP" ~doc)
+  in
+  let platform_opt =
+    let doc = "Platform whose idiom kernel to lint (default: all platforms)." in
+    Arg.(value & opt (some platform_conv) None & info [ "on" ] ~docv:"PLATFORM" ~doc)
+  in
+  let all_flag =
+    let doc = "Lint every registered operator." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  Cmd.v info Term.(const lint $ op_opt $ shape_arg $ platform_opt $ all_flag)
+
 (* ---- manual ------------------------------------------------------------------ *)
 
 let manual platform query =
@@ -132,4 +205,6 @@ let manual_cmd =
 
 let () =
   let info = Cmd.info "xpiler" ~version:"1.0.0" ~doc:"Neural-symbolic tensor-program transcompiler." in
-  exit (Cmd.eval (Cmd.group info [ translate_cmd; show_source_cmd; list_ops_cmd; manual_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ translate_cmd; show_source_cmd; list_ops_cmd; lint_cmd; manual_cmd ]))

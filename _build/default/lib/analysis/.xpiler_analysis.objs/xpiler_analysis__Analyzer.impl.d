@@ -1,0 +1,1 @@
+lib/analysis/analyzer.ml: Axis Diag Expr Footprint Fun Hashtbl Intrin Kernel Linear List Option Printf Scope Stmt String Xpiler_ir Xpiler_smt

@@ -1,0 +1,1 @@
+lib/analysis/analyzer.mli: Diag Kernel Xpiler_ir

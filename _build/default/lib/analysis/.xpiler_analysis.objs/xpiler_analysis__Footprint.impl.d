@@ -1,0 +1,1 @@
+lib/analysis/footprint.ml: Expr List Option Printf Xpiler_ir

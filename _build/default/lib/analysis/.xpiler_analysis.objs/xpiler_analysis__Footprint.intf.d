@@ -1,0 +1,1 @@
+lib/analysis/footprint.mli: Expr Xpiler_ir

@@ -4,6 +4,7 @@ type t = {
   annotate : bool;
   use_smt : bool;
   self_debugging : bool;
+  static_analysis : bool;
   tune : bool;
   mcts : Xpiler_tuning.Mcts.config;
   unit_test_trials : int;
@@ -15,12 +16,16 @@ let default =
     annotate = true;
     use_smt = true;
     self_debugging = false;
+    static_analysis = true;
     tune = false;
     mcts = { Xpiler_tuning.Mcts.default_config with simulations = 48; max_depth = 6 };
     unit_test_trials = 2
   }
 
 let without_smt = { default with name = "qimeng-xpiler-wo-smt"; use_smt = false }
+
+let without_analysis =
+  { default with name = "qimeng-xpiler-wo-analysis"; static_analysis = false }
 
 let without_smt_self_debug =
   { default with name = "qimeng-xpiler-wo-smt+self-debug"; use_smt = false; self_debugging = true }

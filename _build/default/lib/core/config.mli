@@ -6,6 +6,7 @@ type t = {
   annotate : bool;  (** program annotation (Algorithm 1) *)
   use_smt : bool;  (** SMT-based code repairing (Algorithm 3) *)
   self_debugging : bool;  (** retry a failed pass through the LLM once *)
+  static_analysis : bool;  (** IR-level static pre-validation before unit tests *)
   tune : bool;  (** hierarchical auto-tuning for performance *)
   mcts : Xpiler_tuning.Mcts.config;
   unit_test_trials : int;
@@ -17,6 +18,10 @@ val default : t
 
 val without_smt : t
 (** "QiMeng-Xpiler w/o SMT" ablation. *)
+
+val without_analysis : t
+(** Static pre-validation disabled: every pass goes straight to the
+    interpreter-based unit test and repairs pay full dynamic localization. *)
 
 val without_smt_self_debug : t
 (** "QiMeng-Xpiler w/o SMT + Self-Debugging" ablation. *)

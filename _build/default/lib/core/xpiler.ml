@@ -81,6 +81,9 @@ let case_seed (config : Config.t) src dst (op : Opdef.t) shape =
 
 let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
   let clock = Vclock.create () in
+  let buffer_sizes =
+    List.map (fun (b : Opdef.buffer_spec) -> (b.buf_name, b.size shape)) op.Opdef.buffers
+  in
   let llm = Llm.create ~seed:(case_seed config src dst op shape) ~clock () in
   let retry_rng = Rng.create (case_seed config src dst op shape + 17) in
   let target = Platform.of_id dst in
@@ -113,10 +116,30 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
     Vclock.charge clock Vclock.Unit_test 45.0;
     Unit_test.check ~trials:config.Config.unit_test_trials op shape k = Unit_test.Pass
   in
-  (* per-pass validation is the unit test (the paper's flow); platform
-     compilation is checked once on the final program, since intermediate
-     states legitimately mix source and target features *)
-  let valid k = unit_ok k in
+  (* per-pass validation: a static pre-validation pass first (a diagnosed
+     program never reaches the interpreter, and its findings seed the
+     repairer's localization), then the unit test (the paper's flow).
+     Platform compilation is checked once on the final program, since
+     intermediate states legitimately mix source and target features *)
+  let static_diags = ref [] in
+  let valid k =
+    static_diags := [];
+    if config.Config.static_analysis then begin
+      Vclock.charge clock Vclock.Static_analysis
+        (2.0 +. (0.05 *. float_of_int (Stmt.count_stmts k.Kernel.body)));
+      match
+        Xpiler_analysis.Analyzer.errors
+          (Xpiler_analysis.Analyzer.analyze ~extents:buffer_sizes k)
+      with
+      | [] -> unit_ok k
+      | findings ->
+        (* short-circuit: no interpreter run for a statically-diagnosed
+           program — reading the report is orders of magnitude cheaper *)
+        static_diags := findings;
+        false
+    end
+    else unit_ok k
+  in
   (* one LLM-assisted pass with validation and symbolic repair *)
   let run_pass spec =
     let prompt = Meta_prompt.build ~target:dst spec st.kernel in
@@ -133,7 +156,10 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
       end
       else if config.Config.use_smt then begin
         st.repairs_attempted <- st.repairs_attempted + 1;
-        match Xpiler_repair.Repairer.repair ~clock ~platform:target ~op ~shape k' with
+        match
+          Xpiler_repair.Repairer.repair ~static:!static_diags ~clock ~platform:target ~op
+            ~shape k'
+        with
         | Xpiler_repair.Repairer.Repaired { kernel; _ } ->
           st.repairs_succeeded <- st.repairs_succeeded + 1;
           st.kernel <- kernel;
@@ -201,9 +227,6 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
     (* hierarchical auto-tuning on accepted translations *)
     let k, throughput =
       if status = Success && config.Config.tune then begin
-        let buffer_sizes =
-          List.map (fun (b : Opdef.buffer_spec) -> (b.buf_name, b.size shape)) op.Opdef.buffers
-        in
         let result =
           Xpiler_tuning.Mcts.search ~config:config.Config.mcts ~clock ~buffer_sizes
             ~platform:target k

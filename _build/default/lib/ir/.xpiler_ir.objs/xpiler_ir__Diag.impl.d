@@ -1,0 +1,1 @@
+lib/ir/diag.ml: List Printf String

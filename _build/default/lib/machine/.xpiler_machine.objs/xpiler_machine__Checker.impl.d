@@ -1,1 +1,1 @@
-lib/machine/checker.ml: Axis Dtype Expr Intrin Kernel List Platform Printf Scope Stmt String Validate Xpiler_ir
+lib/machine/checker.ml: Axis Diag Dtype Expr Intrin Kernel List Platform Printf Scope Stmt Validate Xpiler_ir

@@ -1,1 +1,1 @@
-lib/machine/checker.mli: Kernel Platform Scope Xpiler_ir
+lib/machine/checker.mli: Diag Kernel Platform Scope Xpiler_ir

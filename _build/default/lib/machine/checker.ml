@@ -1,21 +1,16 @@
 open Xpiler_ir
-type error = {
-  category : [ `Parallelism | `Memory | `Instruction | `Structural ];
+
+(* compile errors share the analyzer's diagnostic record (lib/ir/diag.ml):
+   one category vocabulary, one formatter *)
+type error = Diag.t = {
+  category : Diag.category;
+  severity : Diag.severity;
   where : string;
   message : string;
 }
 
-let error_to_string e =
-  let cat =
-    match e.category with
-    | `Parallelism -> "parallelism"
-    | `Memory -> "memory"
-    | `Instruction -> "instruction"
-    | `Structural -> "structural"
-  in
-  Printf.sprintf "[%s] %s: %s" cat e.where e.message
-
-let errors_to_string es = String.concat "\n" (List.map error_to_string es)
+let error_to_string = Diag.to_string
+let errors_to_string = Diag.list_to_string
 
 let param_scope (p : Platform.t) =
   match p.id with Platform.Vnni -> Scope.Host | Platform.Cuda | Platform.Bang | Platform.Hip -> Scope.Global
@@ -31,7 +26,7 @@ let scope_env (p : Platform.t) (k : Kernel.t) =
 
 let compile (p : Platform.t) (k : Kernel.t) =
   let errors = ref [] in
-  let err category where message = errors := { category; where; message } :: !errors in
+  let err category where message = errors := Diag.error category where message :: !errors in
   (* structural validity first: a kernel that is not even well-formed fails
      compilation outright *)
   (match Validate.check k with

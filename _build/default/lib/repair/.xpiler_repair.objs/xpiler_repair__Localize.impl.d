@@ -1,1 +1,1 @@
-lib/repair/localize.ml: Expr Float Hashtbl Interp Intrin Kernel List Opdef Option Printf Stmt Tensor Unit_test Xpiler_ir Xpiler_machine Xpiler_ops Xpiler_util
+lib/repair/localize.ml: Diag Expr Float Hashtbl Interp Intrin Kernel List Opdef Option Printf Stmt String Tensor Unit_test Xpiler_analysis Xpiler_ir Xpiler_machine Xpiler_ops Xpiler_util

@@ -1,1 +1,1 @@
-lib/repair/localize.mli: Kernel Opdef Stmt Xpiler_ir Xpiler_ops
+lib/repair/localize.mli: Kernel Opdef Stmt Xpiler_analysis Xpiler_ir Xpiler_ops

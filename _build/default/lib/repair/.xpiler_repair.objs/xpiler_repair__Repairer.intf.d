@@ -1,1 +1,1 @@
-lib/repair/repairer.mli: Kernel Localize Opdef Platform Xpiler_ir Xpiler_machine Xpiler_ops Xpiler_util
+lib/repair/repairer.mli: Kernel Localize Opdef Platform Xpiler_analysis Xpiler_ir Xpiler_machine Xpiler_ops Xpiler_util

@@ -187,3 +187,46 @@ let localize ?(seed = 20250706) ~op ~shape (kernel : Kernel.t) =
     sites = params @ bounds @ indices;
     unrepairable = !unrepairable
   }
+
+(* ---- static localization ------------------------------------------------------ *)
+
+(* translate analyzer findings into a report without running a single probe:
+   the analyzer's site ordinals use the same post-order numbering as
+   [enumerate], so they can be consumed directly by the repairer *)
+let of_findings (findings : Xpiler_analysis.Analyzer.finding list) =
+  let module A = Xpiler_analysis.Analyzer in
+  let convert = function
+    | A.Param_site { nth; current } -> Param_site { nth; current }
+    | A.Bound_site { nth; var; current } -> Bound_site { nth; var; current }
+    | A.Index_site { nth; buf } -> Index_site { nth; buf }
+  in
+  let sites =
+    List.concat_map (fun (f : A.finding) -> List.map convert f.A.sites) findings
+    |> List.fold_left (fun acc s -> if List.mem s acc then acc else s :: acc) []
+    |> List.rev
+  in
+  let failing_buffers =
+    List.concat_map (fun (f : A.finding) -> f.A.buffers) findings
+    |> List.sort_uniq String.compare
+  in
+  let runtime_error =
+    List.find_map
+      (fun (f : A.finding) ->
+        match f.A.check with
+        | A.Barrier_divergence ->
+          Some ("modelled deadlock: " ^ f.A.diag.Diag.message)
+        | _ -> None)
+      findings
+  in
+  let unrepairable =
+    List.filter_map
+      (fun (f : A.finding) ->
+        if f.A.sites = [] then Some f.A.diag.Diag.message else None)
+      findings
+  in
+  { failing_buffers;
+    runtime_error;
+    first_divergent_store = None;
+    sites;
+    unrepairable
+  }

@@ -41,3 +41,10 @@ val localize : ?seed:int -> op:Opdef.t -> shape:Opdef.shape -> Kernel.t -> repor
 val is_param_site : Stmt.t -> bool
 val is_bound_site : Stmt.t -> bool
 val is_index_site : Stmt.t -> bool
+
+val of_findings : Xpiler_analysis.Analyzer.finding list -> report
+(** Build a report from static-analyzer findings alone — no probe runs, no
+    binary search. Site ordinals transfer directly because the analyzer and
+    [enumerate] share one statement numbering. Findings without sites land
+    in [unrepairable]; barrier-divergence findings surface as a modelled
+    [runtime_error]. *)

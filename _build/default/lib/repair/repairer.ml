@@ -126,7 +126,7 @@ let mismatch_score ~op ~shape kernel =
         | _ -> acc + Tensor.length e)
       0 expected
 
-let repair ?(max_tests = 200) ?(rounds = 2) ?clock ~platform ~op ~shape kernel =
+let repair ?(max_tests = 200) ?(rounds = 2) ?(static = []) ?clock ~platform ~op ~shape kernel =
   let total_rounds = rounds in
   let tests = ref 0 in
   let unit_ok k =
@@ -209,4 +209,40 @@ let repair ?(max_tests = 200) ?(rounds = 2) ?clock ~platform ~op ~shape kernel =
       end
     end
   in
-  round rounds kernel "no rounds"
+  (* static fast path: analyzer findings already name the suspect sites, so
+     skip the probe-execution binary search entirely (reading a report is
+     ~30 modelled seconds against 240 for a localization round). Dynamic
+     rounds below remain the untouched fallback. *)
+  let static_attempt () =
+    let report = Localize.of_findings static in
+    if report.Localize.sites = [] then None
+    else begin
+      charge clock Vclock.Bug_localization 30.0;
+      let try_site found site =
+        match found with
+        | Some _ -> found
+        | None ->
+          charge clock Vclock.Smt_solving 90.0;
+          let values = candidate_values ~platform kernel site in
+          List.fold_left
+            (fun found value ->
+              match found with
+              | Some _ -> found
+              | None ->
+                if !tests >= max_tests then None
+                else begin
+                  let candidate = apply_candidate kernel site value in
+                  if compile_ok candidate && unit_ok candidate then Some (candidate, site)
+                  else None
+                end)
+            None values
+      in
+      match List.fold_left try_site None report.Localize.sites with
+      | Some (fixed, site) when fully_ok fixed ->
+        Some (Repaired { kernel = fixed; tests_run = !tests; site = Localize.site_to_string site })
+      | _ -> None
+    end
+  in
+  match if static = [] then None else static_attempt () with
+  | Some outcome -> outcome
+  | None -> round rounds kernel "no rounds"

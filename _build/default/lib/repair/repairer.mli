@@ -24,6 +24,7 @@ val candidate_values :
 val repair :
   ?max_tests:int ->
   ?rounds:int ->
+  ?static:Xpiler_analysis.Analyzer.finding list ->
   ?clock:Xpiler_util.Vclock.t ->
   platform:Platform.t ->
   op:Opdef.t ->
@@ -31,4 +32,7 @@ val repair :
   Kernel.t ->
   outcome
 (** [rounds] (default 2) bounds how many distinct faults can be fixed in
-    sequence; [max_tests] (default 200) bounds unit-test executions. *)
+    sequence; [max_tests] (default 200) bounds unit-test executions.
+    [static] passes pre-validation analyzer findings: their sites are tried
+    first at a fraction of a localization round's modelled cost ([Vclock]
+    charges 30s against 240s), with the dynamic rounds as fallback. *)

@@ -1,17 +1,20 @@
 type stage =
   | Annotation
   | Llm_transform
+  | Static_analysis
   | Unit_test
   | Bug_localization
   | Smt_solving
   | Auto_tuning
 
 let all_stages =
-  [ Annotation; Llm_transform; Unit_test; Bug_localization; Smt_solving; Auto_tuning ]
+  [ Annotation; Llm_transform; Static_analysis; Unit_test; Bug_localization; Smt_solving;
+    Auto_tuning ]
 
 let stage_name = function
   | Annotation -> "annotation"
   | Llm_transform -> "llm-transform"
+  | Static_analysis -> "static-analysis"
   | Unit_test -> "unit-test"
   | Bug_localization -> "bug-localization"
   | Smt_solving -> "smt-solving"
@@ -20,14 +23,17 @@ let stage_name = function
 let stage_index = function
   | Annotation -> 0
   | Llm_transform -> 1
-  | Unit_test -> 2
-  | Bug_localization -> 3
-  | Smt_solving -> 4
-  | Auto_tuning -> 5
+  | Static_analysis -> 2
+  | Unit_test -> 3
+  | Bug_localization -> 4
+  | Smt_solving -> 5
+  | Auto_tuning -> 6
+
+let n_stages = 7
 
 type t = { totals : float array }
 
-let create () = { totals = Array.make 6 0.0 }
+let create () = { totals = Array.make n_stages 0.0 }
 
 let charge t stage seconds =
   if seconds < 0.0 then invalid_arg "Vclock.charge: negative duration";
@@ -37,7 +43,7 @@ let charge t stage seconds =
 let elapsed t = Array.fold_left ( +. ) 0.0 t.totals
 let stage_total t stage = t.totals.(stage_index stage)
 let breakdown t = List.map (fun s -> (s, stage_total t s)) all_stages
-let reset t = Array.fill t.totals 0 6 0.0
+let reset t = Array.fill t.totals 0 n_stages 0.0
 
 let merge dst src =
   Array.iteri (fun i v -> dst.totals.(i) <- dst.totals.(i) +. v) src.totals

@@ -7,10 +7,12 @@
 
 type t
 
-(** Stage labels matching Figure 8's breakdown. *)
+(** Stage labels matching Figure 8's breakdown, plus [Static_analysis] for
+    the pre-validation analyzer (much cheaper than an interpreter run). *)
 type stage =
   | Annotation
   | Llm_transform
+  | Static_analysis
   | Unit_test
   | Bug_localization
   | Smt_solving

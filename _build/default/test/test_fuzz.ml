@@ -77,6 +77,38 @@ let prop_intra_preserves =
       let v = Xpiler_tuning.Intra.tune ~platform:Platform.cuda k in
       Tcommon.divergence ~buf_size ~seed:(seed + 3) k v.Xpiler_tuning.Intra.kernel = None)
 
+(* analyzer soundness: any kernel the static analyzer passes clean must not
+   hit an interpreter runtime error (out-of-bounds or otherwise) on random
+   inputs. Two thirds of the corpus is perturbed with detail faults so the
+   property also exercises genuinely broken kernels. *)
+let prop_analyzer_clean_executes =
+  QCheck.Test.make ~name:"analyzer-clean kernels execute without runtime errors" ~count:200
+    arb_seed (fun seed ->
+      let k = kernel_of_seed seed in
+      let frng = Rng.create (seed + 13) in
+      let k =
+        match seed mod 3 with
+        | 0 -> k
+        | 1 -> (
+          match Xpiler_neural.Fault.inject_index frng k with
+          | Some (k', _) -> k'
+          | None -> k)
+        | _ -> (
+          match Xpiler_neural.Fault.inject_bound frng k with
+          | Some (k', _) -> k'
+          | None -> k)
+      in
+      match
+        Xpiler_analysis.Analyzer.errors
+          (Xpiler_analysis.Analyzer.analyze ~extents:Kgen.buffer_sizes k)
+      with
+      | _ :: _ -> true (* diagnosed: the property claims nothing *)
+      | [] -> (
+        let args = Tcommon.make_args (Rng.create (seed + 2)) ~buf_size k [] in
+        match Interp.run k args with
+        | _ -> true
+        | exception Interp.Runtime_error _ -> false))
+
 (* detail-level fault injection + repair round trip: every repairable fault
    class the oracle injects is fixed by the repairer on these kernels *)
 let prop_inject_repair =
@@ -128,5 +160,5 @@ let () =
           (QCheck_alcotest.to_alcotest ~rand)
           [ prop_generator_sound; prop_roundtrip_vnni; prop_roundtrip_cuda;
             prop_roundtrip_bang; prop_pass_sequences_preserve; prop_intra_preserves;
-            prop_inject_repair ] )
+            prop_analyzer_clean_executes; prop_inject_repair ] )
     ]

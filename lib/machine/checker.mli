@@ -7,11 +7,14 @@ open Xpiler_ir
     intrinsic lengths. A kernel that passes [compile] counts towards the
     paper's *compilation accuracy* metric. *)
 
-type error = {
-  category : [ `Parallelism | `Memory | `Instruction | `Structural ];
+type error = Diag.t = {
+  category : Diag.category;
+  severity : Diag.severity;
   where : string;
   message : string;
 }
+(** An alias of {!Xpiler_ir.Diag.t}: the checker and the static analyzer
+    share one diagnostic record and one formatter. *)
 
 val compile : Platform.t -> Kernel.t -> (unit, error list) result
 

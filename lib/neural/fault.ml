@@ -69,6 +69,19 @@ let inject_parallel_structural rng target k =
                  Printf.sprintf "invented parallel built-in %s" (Axis.to_string wrong)
              } ))
 
+(* the paper's canonical missing-__syncthreads fault; not part of the
+   [inject] dispatch (pipeline-generated kernels rarely contain barriers) but
+   used by the static-analysis tests and the lint demos *)
+let inject_sync rng k =
+  let is_sync = function Stmt.Sync -> true | _ -> false in
+  pick_site rng is_sync (fun _ -> Stmt.Annot { key = "elided"; value = "sync" }) k
+  |> Option.map (fun k' ->
+         ( k',
+           { category = Parallelism;
+             severity = Structural;
+             description = "omitted a barrier"
+           } ))
+
 (* ---- structural: memory ------------------------------------------------------ *)
 
 let wrong_scope (target : Platform.t) current =

@@ -30,6 +30,10 @@ val inject :
   (Kernel.t * injected) option
 (** [None] when the kernel has no applicable site for this fault class. *)
 
+val inject_sync : Xpiler_util.Rng.t -> Kernel.t -> (Kernel.t * injected) option
+(** Elide a barrier (the missing-[__syncthreads] class). Not reachable from
+    [inject]'s calibrated distribution; exercised by the analyzer tests. *)
+
 val inject_bound : Xpiler_util.Rng.t -> Kernel.t -> (Kernel.t * injected) option
 val inject_index : Xpiler_util.Rng.t -> Kernel.t -> (Kernel.t * injected) option
 val inject_param : Xpiler_util.Rng.t -> Kernel.t -> (Kernel.t * injected) option
