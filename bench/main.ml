@@ -20,6 +20,22 @@ let experiments =
     ("ablation", Ablation.run);
     ("micro", Micro.run) ]
 
+(* Every experiment runs under an ambient tracer: each [Xpiler.transcompile]
+   inside it (trace level Off in its config) emits into the experiment's
+   shared timeline, and the whole event stream lands in
+   results/trace_<experiment>.jsonl — replay with `xpiler trace`. Timestamps
+   are virtual (Vclock) seconds, so the journal is deterministic even though
+   the wall-clock timings printed alongside are not. *)
+let traced name f =
+  let tracer = Xpiler_obs.Tracer.create ~level:Xpiler_obs.Tracer.Detail () in
+  Xpiler_obs.Trace.install tracer;
+  Fun.protect ~finally:Xpiler_obs.Trace.uninstall f;
+  if not (Sys.file_exists "results") then Sys.mkdir "results" 0o755;
+  let path = Filename.concat "results" (Printf.sprintf "trace_%s.jsonl" name) in
+  let events = Xpiler_obs.Tracer.events tracer in
+  Xpiler_obs.Journal.write_file path events;
+  Printf.printf "[trace journal: %s, %d events]\n%!" path (List.length events)
+
 let () =
   let requested =
     match Array.to_list Sys.argv with
@@ -35,7 +51,7 @@ let () =
       match List.assoc_opt name experiments with
       | Some f ->
         let t = Unix.gettimeofday () in
-        f ();
+        traced name f;
         Printf.printf "[%s done in %.1fs]\n%!" name (Unix.gettimeofday () -. t)
       | None ->
         Printf.printf "unknown experiment %s (available: %s)\n%!" name

@@ -37,6 +37,25 @@ let seed_arg =
   let doc = "Seed for the (simulated) neural oracle." in
   Arg.(value & opt int 20250706 & info [ "seed" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a JSONL trace journal of the translation to $(docv) (replay it with `xpiler \
+     trace`)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_level_arg =
+  let level_conv =
+    let parse s =
+      match Xpiler_obs.Tracer.level_of_string s with
+      | Some l -> Ok l
+      | None -> Error (`Msg (Printf.sprintf "unknown trace level %s (off|stages|detail)" s))
+    in
+    Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Xpiler_obs.Tracer.level_to_string l))
+  in
+  let doc = "Trace level: off, stages (spans only) or detail (spans + metrics)." in
+  Arg.(value & opt level_conv Xpiler_obs.Tracer.Detail & info [ "trace-level" ] ~docv:"LEVEL" ~doc)
+
 let parse_shape op = function
   | None -> List.hd op.Opdef.shapes
   | Some s ->
@@ -55,12 +74,15 @@ let find_op name =
 
 (* ---- translate ------------------------------------------------------------ *)
 
-let translate op_name shape src dst tune seed =
+let translate op_name shape src dst tune seed trace trace_level =
   let op = find_op op_name in
   let shape = parse_shape op shape in
   let config =
     let base = if tune then Config.tuned else Config.default in
-    Config.with_seed base seed
+    let base = Config.with_seed base seed in
+    match trace with
+    | Some sink -> Config.with_trace ~sink base trace_level
+    | None -> base
   in
   Printf.printf "// source (%s):\n%s\n" (Platform.id_to_string src)
     (Idiom.source_text src op shape);
@@ -75,13 +97,20 @@ let translate op_name shape src dst tune seed =
   (match o.Xpiler.throughput with
   | Some t -> Printf.printf "// modelled throughput: %.3g ops/s\n" t
   | None -> ());
+  (match trace with
+  | Some path ->
+    Printf.printf "// trace journal: %s (%d events)\n" path (List.length o.Xpiler.trace)
+  | None -> ());
   match o.Xpiler.target_text with
   | Some text -> Printf.printf "\n// target (%s):\n%s" (Platform.id_to_string dst) text
   | None -> ()
 
 let translate_cmd =
   let info = Cmd.info "translate" ~doc:"Transcompile an operator between platforms." in
-  Cmd.v info Term.(const translate $ op_arg $ shape_arg $ src_arg $ dst_arg $ tune_arg $ seed_arg)
+  Cmd.v info
+    Term.(
+      const translate $ op_arg $ shape_arg $ src_arg $ dst_arg $ tune_arg $ seed_arg
+      $ trace_arg $ trace_level_arg)
 
 (* ---- show-source ----------------------------------------------------------- *)
 
@@ -188,6 +217,45 @@ let lint_cmd =
   in
   Cmd.v info Term.(const lint $ op_opt $ shape_arg $ platform_opt $ all_flag)
 
+(* ---- trace ------------------------------------------------------------------- *)
+
+(* replay a saved JSONL journal into the summary tables and, optionally,
+   Chrome trace-event JSON loadable in chrome://tracing or Perfetto *)
+let trace_replay journal chrome_out =
+  match Xpiler_obs.Journal.read_file journal with
+  | Error m ->
+    Printf.eprintf "trace: cannot read %s: %s\n" journal m;
+    exit 2
+  | Ok events ->
+    let summary = Xpiler_obs.Summary.of_events events in
+    print_string (Obs_report.render summary);
+    Printf.printf "\n%d events, %.2f modelled hours total\n" summary.Xpiler_obs.Summary.events
+      (summary.Xpiler_obs.Summary.total_seconds /. 3600.0);
+    (match chrome_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Xpiler_obs.Chrome.to_string events);
+      close_out oc;
+      Printf.printf "wrote Chrome trace JSON to %s (load in chrome://tracing or Perfetto)\n"
+        path)
+
+let trace_cmd =
+  let info =
+    Cmd.info "trace"
+      ~doc:
+        "Replay a trace journal (written by `translate --trace`) into summary tables and \
+         Chrome trace-event JSON."
+  in
+  let journal_pos =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL.jsonl")
+  in
+  let chrome_opt =
+    let doc = "Also export Chrome trace-event JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v info Term.(const trace_replay $ journal_pos $ chrome_opt)
+
 (* ---- manual ------------------------------------------------------------------ *)
 
 let manual platform query =
@@ -207,4 +275,5 @@ let () =
   let info = Cmd.info "xpiler" ~version:"1.0.0" ~doc:"Neural-symbolic tensor-program transcompiler." in
   exit
     (Cmd.eval
-       (Cmd.group info [ translate_cmd; show_source_cmd; list_ops_cmd; lint_cmd; manual_cmd ]))
+       (Cmd.group info
+          [ translate_cmd; show_source_cmd; list_ops_cmd; lint_cmd; trace_cmd; manual_cmd ]))

@@ -717,4 +717,12 @@ let check_races (k : Kernel.t) =
 (* ---- entry point -------------------------------------------------------------- *)
 
 let analyze ?(extents = []) (k : Kernel.t) =
-  check_races k @ check_barriers k @ check_oob ~extents k @ check_uninit k
+  let findings = check_races k @ check_barriers k @ check_oob ~extents k @ check_uninit k in
+  List.iter
+    (fun f ->
+      Xpiler_obs.Trace.count
+        (Printf.sprintf "analyzer.%s.%s"
+           (if Diag.is_error f.diag then "error" else "warning")
+           (check_name f.check)))
+    findings;
+  findings

@@ -8,6 +8,8 @@ type t = {
   tune : bool;
   mcts : Xpiler_tuning.Mcts.config;
   unit_test_trials : int;
+  trace_level : Xpiler_obs.Tracer.level;
+  trace_sink : string option;
 }
 
 let default =
@@ -19,7 +21,9 @@ let default =
     static_analysis = true;
     tune = false;
     mcts = { Xpiler_tuning.Mcts.default_config with simulations = 48; max_depth = 6 };
-    unit_test_trials = 2
+    unit_test_trials = 2;
+    trace_level = Xpiler_obs.Tracer.Off;
+    trace_sink = None
   }
 
 let without_smt = { default with name = "qimeng-xpiler-wo-smt"; use_smt = false }
@@ -33,3 +37,4 @@ let without_smt_self_debug =
 let tuned = { default with name = "qimeng-xpiler-tuned"; tune = true }
 
 let with_seed t seed = { t with seed }
+let with_trace ?sink t level = { t with trace_level = level; trace_sink = sink }

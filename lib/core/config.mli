@@ -10,6 +10,12 @@ type t = {
   tune : bool;  (** hierarchical auto-tuning for performance *)
   mcts : Xpiler_tuning.Mcts.config;
   unit_test_trials : int;
+  trace_level : Xpiler_obs.Tracer.level;
+      (** [Off]: no tracing. [Stages]/[Detail]: record a per-translation
+          event stream, returned in [Xpiler.outcome.trace]. *)
+  trace_sink : string option;
+      (** When set (and [trace_level <> Off]), the JSONL journal is also
+          written to this path at the end of the translation. *)
 }
 
 val default : t
@@ -32,3 +38,6 @@ val tuned : t
     simulated runs fast — the knob is exposed. *)
 
 val with_seed : t -> int -> t
+
+val with_trace : ?sink:string -> t -> Xpiler_obs.Tracer.level -> t
+(** Enable tracing, optionally journaling to [sink] (a JSONL path). *)

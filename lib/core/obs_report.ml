@@ -1,0 +1,52 @@
+module Summary = Xpiler_obs.Summary
+
+let pct part whole = if whole > 0.0 then 100.0 *. part /. whole else 0.0
+
+let stage_table (s : Summary.t) =
+  if s.Summary.stages = [] then None
+  else
+    Some
+      (Report.make ~title:"Stage breakdown (modelled seconds)"
+         ~cols:[ "seconds"; "share" ]
+         (List.map
+            (fun (name, secs) ->
+              (name, [ Report.Num secs; Report.Pct (pct secs s.Summary.total_seconds) ]))
+            s.Summary.stages
+         @ [ ("total", [ Report.Num s.Summary.total_seconds; Report.Pct 100.0 ]) ]))
+
+let span_table (s : Summary.t) =
+  if s.Summary.spans = [] then None
+  else
+    Some
+      (Report.make ~title:"Spans" ~cols:[ "count"; "total s" ]
+         (List.map
+            (fun (name, n, dur) -> (name, [ Report.Count n; Report.Num dur ]))
+            s.Summary.spans))
+
+let counter_table (s : Summary.t) =
+  if s.Summary.counters = [] then None
+  else
+    Some
+      (Report.make ~title:"Counters" ~cols:[ "total" ]
+         (List.map (fun (name, n) -> (name, [ Report.Count n ])) s.Summary.counters))
+
+let histogram_table (s : Summary.t) =
+  if s.Summary.histograms = [] then None
+  else
+    Some
+      (Report.make ~title:"Histograms" ~cols:[ "n"; "min"; "mean"; "max" ]
+         (List.map
+            (fun (name, h) ->
+              ( name,
+                [ Report.Count h.Summary.n; Report.Num h.Summary.min;
+                  Report.Num h.Summary.mean; Report.Num h.Summary.max ] ))
+            s.Summary.histograms))
+
+let tables s =
+  List.filter_map
+    (fun f -> f s)
+    [ stage_table; span_table; counter_table; histogram_table ]
+
+let render s = String.concat "\n" (List.map Report.render (tables s))
+
+let render_events events = render (Summary.of_events events)

@@ -1,0 +1,16 @@
+(** Rendering of trace summaries through [Report].
+
+    This is the in-memory sink of the observability layer: an event stream
+    (live from a tracer, or replayed from a JSONL journal by
+    [xpiler trace]) aggregates into [Xpiler_obs.Summary] and renders here
+    as the same aligned tables / CSV machinery the benchmark harness
+    uses. *)
+
+val tables : Xpiler_obs.Summary.t -> Report.t list
+(** Stage breakdown, span totals, counters and histograms — empty sections
+    are omitted. *)
+
+val render : Xpiler_obs.Summary.t -> string
+(** All tables concatenated, ready to print. *)
+
+val render_events : Xpiler_obs.Event.t list -> string

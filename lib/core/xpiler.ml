@@ -5,6 +5,7 @@ open Xpiler_neural
 module Pass = Xpiler_passes.Pass
 module Vclock = Xpiler_util.Vclock
 module Rng = Xpiler_util.Rng
+module Obs = Xpiler_obs
 
 type status = Success | Compile_error of string | Computation_error of string
 
@@ -19,6 +20,7 @@ type outcome = {
   repairs_succeeded : int;
   clock : Vclock.t;
   throughput : float option;
+  trace : Obs.Event.t list;
 }
 
 let status_to_string = function
@@ -79,8 +81,72 @@ let case_seed (config : Config.t) src dst (op : Opdef.t) shape =
       op.Opdef.name,
       shape )
 
+let shape_to_string shape =
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) shape)
+
 let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
   let clock = Vclock.create () in
+  (* tracing: a tracer of our own when the config asks for one, else reuse
+     an ambient tracer a caller (e.g. the bench harness) installed; either
+     way the Vclock observer keeps span timestamps and stage totals in
+     lock-step (single source of timing truth) *)
+  let prev_ambient = Obs.Trace.current () in
+  let owns_tracer, tracer =
+    match config.Config.trace_level with
+    | Obs.Tracer.Off -> (false, prev_ambient)
+    | level -> (true, Some (Obs.Tracer.create ~level ()))
+  in
+  let restored = ref false in
+  let restore_ambient () =
+    if owns_tracer && not !restored then begin
+      restored := true;
+      match prev_ambient with
+      | Some p -> Obs.Trace.install p
+      | None -> Obs.Trace.uninstall ()
+    end
+  in
+  (match tracer with
+  | Some t ->
+    if owns_tracer then Obs.Trace.install t;
+    Vclock.set_observer clock (fun stage s ->
+        Obs.Tracer.stage_charge t (Vclock.stage_name stage) s)
+  | None -> ());
+  (* whatever happens below, never leak our tracer into the caller *)
+  Fun.protect ~finally:restore_ambient @@ fun () ->
+  let root_span =
+    Option.map
+      (fun t ->
+        Obs.Tracer.span_begin t ~cat:"translate"
+          ~attrs:
+            [ ("op", op.Opdef.name);
+              ("src", Platform.id_to_string src);
+              ("dst", Platform.id_to_string dst);
+              ("shape", shape_to_string shape);
+              ("seed", string_of_int config.Config.seed);
+              ("config", config.Config.name) ]
+          ("translate:" ^ op.Opdef.name))
+      tracer
+  in
+  (* seal the trace and restore the caller's tracing state *)
+  let finish_trace outcome =
+    (match tracer with
+    | Some t ->
+      Obs.Tracer.instant t
+        ~attrs:[ ("status", status_to_string outcome.status) ]
+        "translate.status";
+      (match root_span with Some s -> Obs.Tracer.span_end t s | None -> ());
+      Vclock.clear_observer clock
+    | None -> ());
+    restore_ambient ();
+    match (owns_tracer, tracer) with
+    | true, Some t ->
+      let events = Obs.Tracer.events t in
+      (match config.Config.trace_sink with
+      | Some path -> Obs.Journal.write_file path events
+      | None -> ());
+      { outcome with trace = events }
+    | _ -> outcome
+  in
   let buffer_sizes =
     List.map (fun (b : Opdef.buffer_spec) -> (b.buf_name, b.size shape)) op.Opdef.buffers
   in
@@ -90,11 +156,11 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
   let src_kernel = Idiom.source src op shape in
   (* program annotation (Algorithm 1): one LLM pass + BM25 retrieval *)
   let annotated_kernel =
-    if config.Config.annotate then begin
-      Vclock.charge clock Vclock.Annotation
-        (150.0 +. (5.0 *. float_of_int (Stmt.count_stmts src_kernel.Kernel.body)));
-      Annotate.annotate ~target:dst src_kernel
-    end
+    if config.Config.annotate then
+      Obs.Trace.span ~cat:"phase" "annotate" (fun () ->
+          Vclock.charge clock Vclock.Annotation
+            (150.0 +. (5.0 *. float_of_int (Stmt.count_stmts src_kernel.Kernel.body)));
+          Annotate.annotate ~target:dst src_kernel)
     else src_kernel
   in
   let base_profile =
@@ -141,7 +207,7 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
     else unit_ok k
   in
   (* one LLM-assisted pass with validation and symbolic repair *)
-  let run_pass spec =
+  let run_pass_untraced spec =
     let prompt = Meta_prompt.build ~target:dst spec st.kernel in
     match Llm.apply_pass llm ~profile:base_profile ~target ~prompt spec st.kernel with
     | Error m -> Inapplicable m
@@ -204,12 +270,25 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
         Broken
       end
   in
+  let run_pass spec =
+    Obs.Trace.span ~cat:"pass" (Pass.describe spec) (fun () ->
+        let r = run_pass_untraced spec in
+        Obs.Trace.count
+          (match r with
+          | Applied -> "pass.applied"
+          | Inapplicable _ -> "pass.inapplicable"
+          | Broken -> "pass.broken");
+        r)
+  in
   (* phase 1: sequentialize when the source is parallel *)
   let recovery_ok =
     if Stmt.axes_used st.kernel.Kernel.body <> [] then run_pass Pass.Loop_recovery
     else Applied
   in
   let finish () =
+    finish_trace
+    @@ Obs.Trace.span ~cat:"phase" "finalize"
+    @@ fun () ->
     let k = st.kernel in
     let status =
       if not (compile_ok k) then
@@ -247,7 +326,8 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
       repairs_attempted = st.repairs_attempted;
       repairs_succeeded = st.repairs_succeeded;
       clock;
-      throughput
+      throughput;
+      trace = []
     }
   in
   match recovery_ok with

@@ -28,6 +28,11 @@ type outcome = {
   repairs_succeeded : int;
   clock : Xpiler_util.Vclock.t;  (** modelled compile-time breakdown (Figure 8) *)
   throughput : float option;  (** modelled, when translation succeeded *)
+  trace : Xpiler_obs.Event.t list;
+      (** the translation's trace-event stream when [Config.trace_level]
+          enabled tracing for this call; [[]] when tracing is off or when
+          events went to an ambient tracer installed by the caller (the
+          bench harness's whole-experiment journals) *)
 }
 
 val status_to_string : status -> string

@@ -160,6 +160,7 @@ let extract_features (k : Kernel.t) ~shapes =
   }
 
 let estimate (p : Platform.t) k ~shapes =
+  Xpiler_obs.Trace.count "costmodel.evals";
   let f = extract_features k ~shapes in
   let c = p.Platform.cost in
   let clock = c.clock_ghz *. 1e9 in
@@ -194,6 +195,9 @@ let estimate (p : Platform.t) k ~shapes =
     else compute +. memory
   in
   let seconds = body +. (c.launch_overhead_us *. 1e-6 *. float_of_int f.launches) in
+  (* roofline balance in [0, 1]: 1 = pure compute-bound, 0 = pure memory-bound *)
+  if compute +. memory > 0.0 then
+    Xpiler_obs.Trace.observe "costmodel.balance" (compute /. (compute +. memory));
   { seconds; compute_seconds = compute; memory_seconds = memory; features = f }
 
 let throughput p k ~shapes =

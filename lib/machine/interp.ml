@@ -19,6 +19,8 @@ type ctx = {
   fuel : int;
   trace : (string -> int -> float -> unit) option;
   store_limit : int;  (** max stores before Halt; max_int = unlimited *)
+  traffic : (string, int) Hashtbl.t option;
+      (** per-buffer written elements, tallied only when profiling *)
 }
 
 type env = { scalars : (string * value ref) list; bufs : (string * Tensor.t) list }
@@ -31,6 +33,11 @@ let truthy = function I n -> n <> 0 | F f -> f <> 0.0
 let of_bool b = I (if b then 1 else 0)
 
 let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let tally ctx buf n =
+  match ctx.traffic with
+  | None -> ()
+  | Some tbl -> Hashtbl.replace tbl buf (n + Option.value ~default:0 (Hashtbl.find_opt tbl buf))
 
 let lookup_scalar env x =
   match List.assoc_opt x env.scalars with
@@ -356,6 +363,7 @@ and exec_stmt ctx env stmt : env =
     let v = if Dtype.is_float t.Tensor.dtype then to_float v else float_of_int (to_int v) in
     buf_set t buf i v;
     ctx.stats.stores <- ctx.stats.stores + 1;
+    tally ctx buf 1;
     (match ctx.trace with Some f -> f buf i v | None -> ());
     if ctx.stats.stores >= ctx.store_limit then raise Halt;
     env
@@ -373,9 +381,12 @@ and exec_stmt ctx env stmt : env =
       buf_set dt dst.buf (doff + k) (buf_get st src.buf (soff + k))
     done;
     ctx.stats.memcpy_elems <- ctx.stats.memcpy_elems + n;
+    tally ctx dst.buf n;
     env
   | Stmt.Intrinsic i ->
+    let before = ctx.stats.intrinsic_elems in
     intrinsic_exec ctx env i;
+    tally ctx i.Intrin.dst.Intrin.buf (ctx.stats.intrinsic_elems - before);
     env
   | Stmt.Sync ->
     ctx.stats.barriers <- ctx.stats.barriers + 1;
@@ -438,16 +449,39 @@ let build_env (kernel : Kernel.t) args =
     kernel.Kernel.params;
   { scalars = !scalars; bufs = !bufs }
 
+module Trace = Xpiler_obs.Trace
+
+(* profiling hook: per-run op counts and per-buffer write traffic, emitted
+   to the ambient tracer so unit-test and localization executions show up
+   in the per-translation trace *)
+let profile stats traffic =
+  if Trace.enabled () then begin
+    Trace.count "interp.runs";
+    Trace.count ~n:stats.steps "interp.steps";
+    Trace.count ~n:stats.stores "interp.stores";
+    Trace.count ~n:stats.intrinsic_elems "interp.intrinsic_elems";
+    Trace.count ~n:stats.memcpy_elems "interp.memcpy_elems";
+    Trace.count ~n:stats.barriers "interp.barriers";
+    match traffic with
+    | None -> ()
+    | Some tbl ->
+      Hashtbl.fold (fun buf n acc -> (buf, n) :: acc) tbl []
+      |> List.sort compare
+      |> List.iter (fun (buf, n) -> Trace.count ~n ("interp.traffic." ^ buf))
+  end
+
 let run ?(fuel = 200_000_000) ?trace kernel args =
   let stats = fresh_stats () in
-  let ctx = { stats; fuel; trace; store_limit = max_int } in
+  let traffic = if Trace.enabled () then Some (Hashtbl.create 8) else None in
+  let ctx = { stats; fuel; trace; store_limit = max_int; traffic } in
   let env = build_env kernel args in
-  exec_block ctx env kernel.Kernel.body;
+  Fun.protect ~finally:(fun () -> profile stats traffic) (fun () ->
+      exec_block ctx env kernel.Kernel.body);
   stats
 
 let run_prefix ?(fuel = 200_000_000) kernel ~stop_after args =
   let stats = fresh_stats () in
-  let ctx = { stats; fuel; trace = None; store_limit = stop_after } in
+  let ctx = { stats; fuel; trace = None; store_limit = stop_after; traffic = None } in
   let env = build_env kernel args in
   (try exec_block ctx env kernel.Kernel.body with Halt -> ());
   stats

@@ -2,6 +2,7 @@ open Xpiler_ir
 open Xpiler_machine
 module Rng = Xpiler_util.Rng
 module Vclock = Xpiler_util.Vclock
+module Trace = Xpiler_obs.Trace
 module Pass = Xpiler_passes.Pass
 
 type t = { rng : Rng.t; clock : Vclock.t option }
@@ -22,6 +23,16 @@ let charge t stage seconds =
 let llm_call_seconds kernel =
   let stmts = Stmt.count_stmts kernel.Kernel.body in
   90.0 +. (float_of_int stmts *. 8.0)
+
+let severity_name = function Fault.Structural -> "structural" | Fault.Detail -> "detail"
+
+let record_faults faults =
+  List.iter
+    (fun (f : Fault.injected) ->
+      Trace.count
+        (Printf.sprintf "fault.%s.%s" (severity_name f.Fault.severity)
+           (Fault.category_name f.Fault.category)))
+    faults
 
 let sample_faults rng ~target (p : Profile.t) kernel =
   let try_inject (kernel, faults) prob severity category =
@@ -53,7 +64,9 @@ let sample_faults rng ~target (p : Profile.t) kernel =
       match Fault.inject_param rng k with Some (k', f) -> (k', f :: faults) | None -> (k, faults)
     else acc
   in
-  (k, List.rev faults)
+  let faults = List.rev faults in
+  record_faults faults;
+  (k, faults)
 
 let translate_program t ~profile ~src ~dst ~op ~shape =
   let difficulty = Profile.direction_difficulty ~src ~dst in
@@ -61,8 +74,12 @@ let translate_program t ~profile ~src ~dst ~op ~shape =
   let target = Platform.of_id dst in
   (* the ground-truth sketch: the idiomatic target program *)
   let truth = Xpiler_ops.Idiom.source dst op shape in
+  Trace.count "llm.attempts";
   charge t Vclock.Llm_transform (llm_call_seconds truth);
-  if Rng.bernoulli t.rng p.Profile.gives_up then Garbage
+  if Rng.bernoulli t.rng p.Profile.gives_up then begin
+    Trace.count "llm.garbage";
+    Garbage
+  end
   else begin
     let k, faults = sample_faults t.rng ~target p truth in
     Translated (k, faults)
@@ -72,6 +89,7 @@ let apply_pass t ~profile ~target ?prompt spec kernel =
   match Pass.apply ~platform:target spec kernel with
   | Error m -> Error m
   | Ok transformed ->
+    Trace.count "llm.attempts";
     charge t Vclock.Llm_transform (llm_call_seconds transformed);
     (* a richer prompt (manual references present) reduces fault rates *)
     let quality =

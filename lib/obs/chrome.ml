@@ -1,0 +1,39 @@
+let us seconds = Json.Int (int_of_float (Float.round (seconds *. 1e6)))
+
+let base ~ph ~name fields =
+  Json.Obj
+    ([ ("name", Json.Str name); ("ph", Json.Str ph); ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+    @ fields)
+
+let args_of_attrs attrs =
+  if attrs = [] then [] else [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)) ]
+
+let to_json events =
+  (* counters render as cumulative tracks: fold running totals in order *)
+  let totals : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let trace_events =
+    List.map
+      (fun e ->
+        match e with
+        | Event.Span { name; cat; ts; dur; attrs; _ } ->
+          base ~ph:"X" ~name
+            ([ ("cat", Json.Str cat); ("ts", us ts); ("dur", us dur) ] @ args_of_attrs attrs)
+        | Event.Instant { name; ts; attrs } ->
+          base ~ph:"i" ~name ([ ("ts", us ts); ("s", Json.Str "t") ] @ args_of_attrs attrs)
+        | Event.Count { name; ts; n } ->
+          let total = n + Option.value ~default:0 (Hashtbl.find_opt totals name) in
+          Hashtbl.replace totals name total;
+          base ~ph:"C" ~name [ ("ts", us ts); ("args", Json.Obj [ ("value", Json.Int total) ]) ]
+        | Event.Observe { name; ts; v } ->
+          base ~ph:"C" ~name [ ("ts", us ts); ("args", Json.Obj [ ("value", Json.Float v) ]) ])
+      events
+  in
+  let metadata =
+    base ~ph:"M" ~name:"process_name"
+      [ ("args", Json.Obj [ ("name", Json.Str "xpiler") ]) ]
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (metadata :: trace_events));
+      ("displayTimeUnit", Json.Str "ms") ]
+
+let to_string events = Json.to_string (to_json events)

@@ -1,0 +1,86 @@
+type attrs = (string * string) list
+
+type t =
+  | Span of { name : string; cat : string; ts : float; dur : float; depth : int; attrs : attrs }
+  | Instant of { name : string; ts : float; attrs : attrs }
+  | Count of { name : string; ts : float; n : int }
+  | Observe of { name : string; ts : float; v : float }
+
+let name = function
+  | Span { name; _ } | Instant { name; _ } | Count { name; _ } | Observe { name; _ } -> name
+
+let ts = function
+  | Span { ts; _ } | Instant { ts; _ } | Count { ts; _ } | Observe { ts; _ } -> ts
+
+let attrs_json attrs = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)
+
+let with_attrs fields attrs =
+  if attrs = [] then fields else fields @ [ ("attrs", attrs_json attrs) ]
+
+let to_json = function
+  | Span { name; cat; ts; dur; depth; attrs } ->
+    Json.Obj
+      (with_attrs
+         [ ("t", Json.Str "span"); ("name", Json.Str name); ("cat", Json.Str cat);
+           ("ts", Json.Float ts); ("dur", Json.Float dur); ("depth", Json.Int depth) ]
+         attrs)
+  | Instant { name; ts; attrs } ->
+    Json.Obj
+      (with_attrs
+         [ ("t", Json.Str "inst"); ("name", Json.Str name); ("ts", Json.Float ts) ]
+         attrs)
+  | Count { name; ts; n } ->
+    Json.Obj
+      [ ("t", Json.Str "count"); ("name", Json.Str name); ("ts", Json.Float ts);
+        ("n", Json.Int n) ]
+  | Observe { name; ts; v } ->
+    Json.Obj
+      [ ("t", Json.Str "obs"); ("name", Json.Str name); ("ts", Json.Float ts);
+        ("v", Json.Float v) ]
+
+let ( let* ) = Result.bind
+
+let field j k coerce what =
+  match Option.bind (Json.member k j) coerce with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "event: missing or ill-typed field %S (%s)" k what)
+
+let attrs_of_json j =
+  match Json.member "attrs" j with
+  | None -> Ok []
+  | Some (Json.Obj fields) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, Json.Str v) :: rest -> go ((k, v) :: acc) rest
+      | (k, _) :: _ -> Error (Printf.sprintf "event: attr %S is not a string" k)
+    in
+    go [] fields
+  | Some _ -> Error "event: attrs is not an object"
+
+let of_json j =
+  let* tag = field j "t" Json.to_str "tag" in
+  let* name = field j "name" Json.to_str tag in
+  let* ts = field j "ts" Json.to_float tag in
+  match tag with
+  | "span" ->
+    let* cat = field j "cat" Json.to_str tag in
+    let* dur = field j "dur" Json.to_float tag in
+    let* depth = field j "depth" Json.to_int tag in
+    let* attrs = attrs_of_json j in
+    Ok (Span { name; cat; ts; dur; depth; attrs })
+  | "inst" ->
+    let* attrs = attrs_of_json j in
+    Ok (Instant { name; ts; attrs })
+  | "count" ->
+    let* n = field j "n" Json.to_int tag in
+    Ok (Count { name; ts; n })
+  | "obs" ->
+    let* v = field j "v" Json.to_float tag in
+    Ok (Observe { name; ts; v })
+  | other -> Error (Printf.sprintf "event: unknown tag %S" other)
+
+let encode_line e = Json.to_string (to_json e)
+
+let decode_line line =
+  let* j = Json.parse line in
+  of_json j

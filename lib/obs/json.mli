@@ -1,0 +1,37 @@
+(** Minimal JSON support for the observability layer.
+
+    The journal and the Chrome trace exporter need a JSON printer, and
+    journal replay needs a parser; neither yojson nor any other JSON
+    library is a dependency of this repo, so a small self-contained
+    implementation lives here. The printer is deterministic (object fields
+    are emitted in construction order, floats in a shortest-round-trip
+    format), which is what makes trace journals byte-identical across runs
+    with the same seed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. Floats print via a shortest
+    round-tripping decimal form, so [parse (to_string v)] reproduces [v]
+    exactly. *)
+
+val parse : string -> (t, string) result
+(** Parses a single JSON value (the subset this module prints: no unicode
+    escapes beyond [\uXXXX] for ASCII, no exotic number forms). Trailing
+    whitespace is allowed; trailing garbage is an error. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+(** Numeric coercion: [Int] and [Float] both succeed. *)
+
+val to_int : t -> int option
+val to_str : t -> string option

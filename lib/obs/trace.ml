@@ -1,0 +1,13 @@
+let active : Tracer.t option ref = ref None
+
+let install t = active := Some t
+let uninstall () = active := None
+let current () = !active
+let enabled () = Option.is_some !active
+
+let span ?cat ?attrs name f =
+  match !active with None -> f () | Some t -> Tracer.with_span t ?cat ?attrs name f
+
+let count ?n name = match !active with None -> () | Some t -> Tracer.count t ?n name
+let observe name v = match !active with None -> () | Some t -> Tracer.observe t name v
+let instant ?attrs name = match !active with None -> () | Some t -> Tracer.instant t ?attrs name

@@ -1,0 +1,26 @@
+(** Ambient tracing facade.
+
+    The pipeline's libraries (neural, repair, smt, tuning, machine) record
+    metrics without threading a tracer through every signature: they call
+    the functions below, which no-op unless a tracer is installed.
+    [Core.Xpiler] installs one per translation when
+    [Config.trace_level <> Off]; the bench harness installs one around a
+    whole experiment to journal every case into one file.
+
+    Everything is single-threaded and deterministic, so a process-global
+    current tracer is sound here the same way it is for a logger. *)
+
+val install : Tracer.t -> unit
+val uninstall : unit -> unit
+val current : unit -> Tracer.t option
+
+val enabled : unit -> bool
+(** A tracer is installed (at any level). *)
+
+val span : ?cat:string -> ?attrs:Event.attrs -> string -> (unit -> 'a) -> 'a
+(** Runs the function inside a span on the current tracer; just runs it
+    when tracing is off. *)
+
+val count : ?n:int -> string -> unit
+val observe : string -> float -> unit
+val instant : ?attrs:Event.attrs -> string -> unit

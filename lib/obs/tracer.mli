@@ -1,0 +1,62 @@
+(** Hierarchical spans, counters and histograms over the virtual clock.
+
+    A tracer owns a timeline whose "now" advances only through
+    [stage_charge] — wired to [Vclock.set_observer] by [Core.Xpiler] — so
+    every timestamp is deterministic and span durations per stage sum to
+    exactly the same totals as [Vclock.breakdown] (single source of timing
+    truth). Spans nest through an explicit stack; each [Vclock] charge is
+    emitted as its own leaf span with category ["stage"].
+
+    Levels gate event volume: [Stages] records spans and stage charges
+    only; [Detail] additionally records counters, histogram samples and
+    instants. [Off] means "do not trace" and is never given a tracer. *)
+
+type level = Off | Stages | Detail
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+type t
+
+val create : ?level:level -> unit -> t
+(** Default level: [Detail]. *)
+
+val level : t -> level
+
+val now : t -> float
+(** Current virtual time in seconds (sum of all stage charges so far). *)
+
+val stage_charge : t -> string -> float -> unit
+(** [stage_charge t stage seconds] emits a ["stage"]-category span of
+    [seconds] at the current time and advances the clock past it. This is
+    the only operation that moves time. *)
+
+type span
+
+val span_begin : t -> ?cat:string -> ?attrs:Event.attrs -> string -> span
+val span_end : t -> span -> unit
+(** Ends the given span. Any spans opened after it that are still open are
+    ended first (truncated at the current time), so an exception cannot
+    leave the stack misaligned. *)
+
+val with_span : t -> ?cat:string -> ?attrs:Event.attrs -> string -> (unit -> 'a) -> 'a
+(** Exception-safe [span_begin]/[span_end] bracket. *)
+
+val count : t -> ?n:int -> string -> unit
+(** Counter increment ([Detail] level only; no-op otherwise). *)
+
+val observe : t -> string -> float -> unit
+(** Histogram sample ([Detail] level only). *)
+
+val instant : t -> ?attrs:Event.attrs -> string -> unit
+(** Point event ([Detail] level only). *)
+
+val events : t -> Event.t list
+(** All events recorded so far, in emission order (a span is emitted when
+    it closes, so children precede their parent). *)
+
+val counter_total : t -> string -> int
+(** Sum of all [Count] events with this name (test/inspection helper). *)
+
+val depth : t -> int
+(** Number of currently open spans. *)

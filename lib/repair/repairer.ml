@@ -4,6 +4,7 @@ open Xpiler_ops
 module Rewrite = Xpiler_passes.Rewrite
 module Solver = Xpiler_smt.Solver
 module Vclock = Xpiler_util.Vclock
+module Trace = Xpiler_obs.Trace
 
 type outcome =
   | Repaired of { kernel : Kernel.t; tests_run : int; site : string }
@@ -127,6 +128,7 @@ let mismatch_score ~op ~shape kernel =
       0 expected
 
 let repair ?(max_tests = 200) ?(rounds = 2) ?(static = []) ?clock ~platform ~op ~shape kernel =
+  Trace.span ~cat:"phase" "repair" @@ fun () ->
   let total_rounds = rounds in
   let tests = ref 0 in
   let unit_ok k =
@@ -146,6 +148,8 @@ let repair ?(max_tests = 200) ?(rounds = 2) ?(static = []) ?clock ~platform ~op 
   let rec round n k last_reason =
     if n <= 0 then Gave_up { reason = last_reason; tests_run = !tests }
     else begin
+      Trace.count "repair.rounds";
+      Trace.count "repair.localizations";
       charge clock Vclock.Bug_localization 240.0;
       (* fresh localization inputs each round: a fault masked on one input
          draw shows up on another *)
@@ -177,6 +181,7 @@ let repair ?(max_tests = 200) ?(rounds = 2) ?(static = []) ?clock ~platform ~op 
                 | None ->
                   if !tests >= max_tests then None
                   else begin
+                    Trace.count "repair.candidates";
                     let candidate = apply_candidate k site value in
                     if not (compile_ok candidate) then None
                     else if unit_ok candidate then Some (candidate, site)
@@ -217,6 +222,7 @@ let repair ?(max_tests = 200) ?(rounds = 2) ?(static = []) ?clock ~platform ~op 
     let report = Localize.of_findings static in
     if report.Localize.sites = [] then None
     else begin
+      Trace.count "repair.static_localizations";
       charge clock Vclock.Bug_localization 30.0;
       let try_site found site =
         match found with
@@ -231,6 +237,7 @@ let repair ?(max_tests = 200) ?(rounds = 2) ?(static = []) ?clock ~platform ~op 
               | None ->
                 if !tests >= max_tests then None
                 else begin
+                  Trace.count "repair.candidates";
                   let candidate = apply_candidate kernel site value in
                   if compile_ok candidate && unit_ok candidate then Some (candidate, site)
                   else None
@@ -243,6 +250,18 @@ let repair ?(max_tests = 200) ?(rounds = 2) ?(static = []) ?clock ~platform ~op 
       | _ -> None
     end
   in
-  match if static = [] then None else static_attempt () with
-  | Some outcome -> outcome
-  | None -> round rounds kernel "no rounds"
+  let outcome =
+    match if static = [] then None else static_attempt () with
+    | Some outcome ->
+      Trace.count "repair.static_fastpath";
+      outcome
+    | None -> round rounds kernel "no rounds"
+  in
+  (match outcome with
+  | Repaired { site; tests_run; _ } ->
+    Trace.instant ~attrs:[ ("site", site) ] "repair.repaired";
+    Trace.observe "repair.tests_run" (float_of_int tests_run)
+  | Gave_up { reason; tests_run } ->
+    Trace.instant ~attrs:[ ("reason", reason) ] "repair.gave_up";
+    Trace.observe "repair.tests_run" (float_of_int tests_run));
+  outcome

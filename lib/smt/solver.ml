@@ -75,6 +75,13 @@ let search ?(max_steps = 2_000_000) problem ~on_model =
   let found = assign [] problem.vars in
   (found, !timeout, { steps = !steps; evals = !evals })
 
+module Trace = Xpiler_obs.Trace
+
+let record_query (stats : stats) verdict =
+  Trace.count "smt.queries";
+  Trace.count ("smt." ^ verdict);
+  Trace.observe "smt.steps" (float_of_int stats.steps)
+
 let solve ?max_steps problem =
   let result = ref Unsat in
   let found, timeout, stats =
@@ -83,15 +90,18 @@ let solve ?max_steps problem =
         true)
   in
   let outcome = if found then !result else if timeout then Timeout else Unsat in
+  record_query stats (match outcome with Sat _ -> "sat" | Unsat -> "unsat" | Timeout -> "timeout");
   (outcome, stats)
 
 let solve_all ?max_steps ?(limit = 64) problem =
   let models = ref [] in
   let count = ref 0 in
-  let _ =
+  let _, _, stats =
     search ?max_steps problem ~on_model:(fun model ->
         models := model :: !models;
         incr count;
         !count >= limit)
   in
+  record_query stats (if !count > 0 then "sat" else "unsat");
+  Trace.count ~n:!count "smt.models";
   List.rev !models

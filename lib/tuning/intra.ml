@@ -28,6 +28,7 @@ let tune ?clock ?(max_candidates = 64) ~platform k =
   in
   List.fold_left
     (fun best specs ->
+      Xpiler_obs.Trace.count "intra.variants";
       charge 10.0 (* one variant measured on the device *);
       let applied =
         List.fold_left

@@ -3,6 +3,7 @@ open Xpiler_machine
 module Pass = Xpiler_passes.Pass
 module Rng = Xpiler_util.Rng
 module Vclock = Xpiler_util.Vclock
+module Trace = Xpiler_obs.Trace
 
 type config = {
   max_depth : int;
@@ -35,6 +36,12 @@ type node = {
 }
 
 let search ?(config = default_config) ?clock ?(buffer_sizes = []) ~platform kernel =
+  Trace.span ~cat:"phase"
+    ~attrs:
+      [ ("simulations", string_of_int config.simulations);
+        ("max_depth", string_of_int config.max_depth) ]
+    "mcts"
+  @@ fun () ->
   let rng = Rng.create config.seed in
   let charge s =
     match clock with Some c -> Vclock.charge c Vclock.Auto_tuning s | None -> ()
@@ -60,13 +67,19 @@ let search ?(config = default_config) ?clock ?(buffer_sizes = []) ~platform kern
         Hashtbl.replace reward_cache key r;
         r
     in
+    Trace.observe "mcts.reward" r;
     let _, _, b = !best in
-    if r > b then best := (k, specs, r);
+    if r > b then begin
+      best := (k, specs, r);
+      (* best-so-far trajectory: one sample per improvement *)
+      Trace.observe "mcts.best_reward" r
+    end;
     r
   in
   let actions k = Actions.enumerate ~buffer_sizes platform k in
   let mk_node kernel specs depth =
     incr nodes;
+    Trace.count "mcts.expansions";
     { kernel; specs; depth;
       untried = (if depth >= config.max_depth then [] else actions kernel);
       children = []; visits = 0; total = 0.0
@@ -85,6 +98,7 @@ let search ?(config = default_config) ?clock ?(buffer_sizes = []) ~platform kern
   let rec rollout k specs depth best_r =
     if depth >= config.max_depth then best_r
     else begin
+      Trace.count "mcts.rollout_steps";
       match actions k with
       | [] -> best_r
       | acts -> (
@@ -136,6 +150,7 @@ let search ?(config = default_config) ?clock ?(buffer_sizes = []) ~platform kern
   let sims = ref 0 in
   for _ = 1 to config.simulations do
     incr sims;
+    Trace.count "mcts.simulations";
     ignore (simulate root)
   done;
   let bk, bs, br = !best in

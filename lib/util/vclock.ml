@@ -31,18 +31,32 @@ let stage_index = function
 
 let n_stages = 7
 
-type t = { totals : float array }
+type t = {
+  totals : float array;
+  mutable observer : (stage -> float -> unit) option;
+}
 
-let create () = { totals = Array.make n_stages 0.0 }
+let create () = { totals = Array.make n_stages 0.0; observer = None }
+
+let set_observer t f = t.observer <- Some f
+let clear_observer t = t.observer <- None
 
 let charge t stage seconds =
   if seconds < 0.0 then invalid_arg "Vclock.charge: negative duration";
   let i = stage_index stage in
-  t.totals.(i) <- t.totals.(i) +. seconds
+  t.totals.(i) <- t.totals.(i) +. seconds;
+  match t.observer with Some f -> f stage seconds | None -> ()
 
 let elapsed t = Array.fold_left ( +. ) 0.0 t.totals
 let stage_total t stage = t.totals.(stage_index stage)
-let breakdown t = List.map (fun s -> (s, stage_total t s)) all_stages
+
+let breakdown t =
+  List.filter_map
+    (fun s ->
+      let v = stage_total t s in
+      if v > 0.0 then Some (s, v) else None)
+    all_stages
+
 let reset t = Array.fill t.totals 0 n_stages 0.0
 
 let merge dst src =

@@ -25,7 +25,22 @@ val create : unit -> t
 val charge : t -> stage -> float -> unit
 val elapsed : t -> float
 val stage_total : t -> stage -> float
+
 val breakdown : t -> (stage * float) list
+(** Per-stage totals in canonical stage order; stages with a zero total are
+    omitted so reports stay compact. *)
+
 val reset : t -> unit
 val merge : t -> t -> unit
-(** [merge dst src] adds all of [src]'s charges into [dst]. *)
+(** [merge dst src] adds all of [src]'s charges into [dst]. Merged charges
+    do not fire [dst]'s observer: they were already observed (if at all) on
+    [src]'s timeline. *)
+
+val set_observer : t -> (stage -> float -> unit) -> unit
+(** [set_observer t f] makes every subsequent [charge t stage s] also call
+    [f stage s] — the hook the tracing layer uses to advance its virtual
+    timeline in lock-step with the clock, keeping span durations and
+    [breakdown] consistent by construction. At most one observer; a second
+    call replaces the first. *)
+
+val clear_observer : t -> unit

@@ -151,6 +151,31 @@ let test_report_render_and_csv () =
   Alcotest.(check bool) "file written" true (Sys.file_exists path);
   Sys.remove path
 
+(* regression: delimiter characters inside a Text *cell* (not just the row
+   label) must be quoted, else downstream CSV readers mis-split the row *)
+let test_report_csv_cell_escaping () =
+  let r =
+    Report.make ~title:"cells" ~cols:[ "c" ]
+      [ ("plain", [ Report.Text "a,b" ]);
+        ("quoted", [ Report.Text "say \"hi\"" ]);
+        ("multiline", [ Report.Text "two\nlines" ]);
+        ("cr", [ Report.Text "carriage\rreturn" ]) ]
+  in
+  let lines = String.split_on_char '\n' (Report.to_csv r) in
+  Alcotest.(check (option string)) "comma cell quoted" (Some "plain,\"a,b\"")
+    (List.nth_opt lines 1);
+  Alcotest.(check (option string)) "quote cell doubled"
+    (Some "quoted,\"say \"\"hi\"\"\"")
+    (List.nth_opt lines 2);
+  (* the embedded newline splits the physical line; both halves stay inside
+     one quoted field *)
+  Alcotest.(check (option string)) "newline cell opens quote" (Some "multiline,\"two")
+    (List.nth_opt lines 3);
+  Alcotest.(check (option string)) "newline cell closes quote" (Some "lines\"")
+    (List.nth_opt lines 4);
+  Alcotest.(check (option string)) "cr cell quoted" (Some "cr,\"carriage\rreturn\"")
+    (List.nth_opt lines 5)
+
 (* ---- config ----------------------------------------------------------------- *)
 
 let test_configs () =
@@ -176,6 +201,8 @@ let () =
           Alcotest.test_case "complexity ordering" `Quick test_complexity_multiplier_ordering
         ] );
       ( "report",
-        [ Alcotest.test_case "render and csv" `Quick test_report_render_and_csv ] );
+        [ Alcotest.test_case "render and csv" `Quick test_report_render_and_csv;
+          Alcotest.test_case "csv cell escaping" `Quick test_report_csv_cell_escaping
+        ] );
       ("config", [ Alcotest.test_case "variants" `Quick test_configs ])
     ]

@@ -57,6 +57,67 @@ let test_vclock () =
   Vclock.reset c;
   Alcotest.(check (float 1e-9)) "reset" 0.0 (Vclock.elapsed c)
 
+let test_vclock_merge () =
+  let a = Vclock.create () and b = Vclock.create () in
+  Vclock.charge a Vclock.Annotation 3.0;
+  Vclock.charge b Vclock.Annotation 4.0;
+  Vclock.charge b Vclock.Auto_tuning 7.0;
+  Vclock.merge a b;
+  Alcotest.(check (float 1e-9)) "stages add" 7.0 (Vclock.stage_total a Vclock.Annotation);
+  Alcotest.(check (float 1e-9)) "new stage carried" 7.0
+    (Vclock.stage_total a Vclock.Auto_tuning);
+  Alcotest.(check (float 1e-9)) "src untouched" 11.0 (Vclock.elapsed b);
+  (* merge must not fire dst's observer: those charges were already observed
+     (if at all) on src's timeline *)
+  let fired = ref 0 in
+  Vclock.set_observer a (fun _ _ -> incr fired);
+  Vclock.merge a b;
+  Alcotest.(check int) "merge silent" 0 !fired;
+  Vclock.charge a Vclock.Smt_solving 1.0;
+  Alcotest.(check int) "charge observed" 1 !fired
+
+let test_vclock_reset () =
+  let c = Vclock.create () in
+  Vclock.charge c Vclock.Llm_transform 9.0;
+  Vclock.charge c Vclock.Unit_test 1.0;
+  Vclock.reset c;
+  Alcotest.(check (float 1e-9)) "elapsed zero" 0.0 (Vclock.elapsed c);
+  List.iter
+    (fun st ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "stage %s zero" (Vclock.stage_name st))
+        0.0 (Vclock.stage_total c st))
+    Vclock.all_stages;
+  Vclock.charge c Vclock.Annotation 2.0;
+  Alcotest.(check (float 1e-9)) "usable after reset" 2.0 (Vclock.elapsed c)
+
+let test_vclock_breakdown_omits_zero () =
+  let c = Vclock.create () in
+  Alcotest.(check int) "empty clock" 0 (List.length (Vclock.breakdown c));
+  Vclock.charge c Vclock.Smt_solving 5.0;
+  Vclock.charge c Vclock.Annotation 1.0;
+  let b = Vclock.breakdown c in
+  Alcotest.(check int) "only charged stages" 2 (List.length b);
+  (* canonical stage order, not charge order *)
+  Alcotest.(check (list string)) "canonical order"
+    [ "annotation"; "smt-solving" ]
+    (List.map (fun (st, _) -> Vclock.stage_name st) b);
+  Alcotest.(check bool) "no zero totals" true
+    (List.for_all (fun (_, s) -> s > 0.0) b)
+
+let test_vclock_observer () =
+  let c = Vclock.create () in
+  let seen = ref [] in
+  Vclock.set_observer c (fun st s -> seen := (Vclock.stage_name st, s) :: !seen);
+  Vclock.charge c Vclock.Annotation 2.0;
+  Vclock.charge c Vclock.Unit_test 0.5;
+  Alcotest.(check (list (pair string (float 1e-9)))) "charges observed in order"
+    [ ("annotation", 2.0); ("unit-test", 0.5) ]
+    (List.rev !seen);
+  Vclock.clear_observer c;
+  Vclock.charge c Vclock.Annotation 1.0;
+  Alcotest.(check int) "cleared observer silent" 2 (List.length !seen)
+
 let test_vclock_negative () =
   let c = Vclock.create () in
   Alcotest.check_raises "negative" (Invalid_argument "Vclock.charge: negative duration")
@@ -86,6 +147,11 @@ let () =
         ] );
       ( "vclock",
         [ Alcotest.test_case "charge/merge/reset" `Quick test_vclock;
+          Alcotest.test_case "merge" `Quick test_vclock_merge;
+          Alcotest.test_case "reset" `Quick test_vclock_reset;
+          Alcotest.test_case "breakdown omits zero stages" `Quick
+            test_vclock_breakdown_omits_zero;
+          Alcotest.test_case "observer" `Quick test_vclock_observer;
           Alcotest.test_case "negative rejected" `Quick test_vclock_negative
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_bernoulli_frequency ])
