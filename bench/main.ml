@@ -2,9 +2,13 @@
    evaluation (see DESIGN.md's per-experiment index).
 
    Usage:
-     dune exec bench/main.exe              # all experiments
-     dune exec bench/main.exe table6 fig7  # a subset
-   XPILER_BENCH_SHAPES=8 runs the full 168-case suite (default 2 shapes/op). *)
+     dune exec bench/main.exe                    # all experiments
+     dune exec bench/main.exe table6 fig7        # a subset
+     dune exec bench/main.exe -- -j 4 table6     # 4 worker domains
+   XPILER_BENCH_SHAPES=8 runs the full 168-case suite (default 2 shapes/op).
+   -j/--jobs N (or XPILER_JOBS=N) sizes the domain pool for the per-case
+   loops; results, CSVs and trace journals are identical for any job count —
+   only wall-clock changes. *)
 
 let experiments =
   [ ("table2", Tables.table2);
@@ -37,11 +41,24 @@ let traced name f =
   Printf.printf "[trace journal: %s, %d events]\n%!" path (List.length events)
 
 let () =
+  let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
+  let rec parse names = function
+    | [] -> List.rev names
+    | ("-j" | "--jobs") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some j when j > 0 ->
+        Xpiler_util.Pool.set_jobs j;
+        parse names rest
+      | _ ->
+        Printf.eprintf "bad --jobs value %s\n" v;
+        exit 2)
+    | ("-j" | "--jobs") :: [] ->
+      Printf.eprintf "--jobs needs a value\n";
+      exit 2
+    | a :: rest -> parse (a :: names) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: [] -> List.map fst experiments
-    | _ :: args -> args
-    | [] -> []
+    match parse [] args with [] -> List.map fst experiments | names -> names
   in
   Printf.printf "QiMeng-Xpiler benchmark harness (%d cases per direction; set XPILER_BENCH_SHAPES=8 for the full suite)\n%!"
     (List.length (Tables.cases ()));

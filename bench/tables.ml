@@ -6,6 +6,8 @@ open Xpiler_ops
 open Xpiler_core
 module Baselines = Xpiler_baselines
 module Vclock = Xpiler_util.Vclock
+module Pool = Xpiler_util.Pool
+module Trace = Xpiler_obs.Trace
 
 let platforms = [ Platform.Cuda; Platform.Bang; Platform.Hip; Platform.Vnni ]
 
@@ -55,12 +57,18 @@ let table2 () =
     let bump tbl cat =
       Hashtbl.replace tbl cat (1 + Option.value ~default:0 (Hashtbl.find_opt tbl cat))
     in
+    (* translations are independent; evaluate on the pool (case order kept),
+       then fold the counters sequentially *)
+    let rs =
+      Pool.map
+        (fun _task (c : Registry.case) ->
+          Trace.without (fun () ->
+              Baselines.Llm_baseline.translate m ~src:Platform.Cuda ~dst:Platform.Bang
+                ~op:c.op ~shape:c.shape))
+        cs
+    in
     List.iter
-      (fun (c : Registry.case) ->
-        let r =
-          Baselines.Llm_baseline.translate m ~src:Platform.Cuda ~dst:Platform.Bang ~op:c.op
-            ~shape:c.shape
-        in
+      (fun (r : Baselines.Llm_baseline.result) ->
         if not r.compiles then begin
           incr compile_fail;
           List.iter
@@ -79,7 +87,7 @@ let table2 () =
               bump xf_cat (Xpiler_neural.Fault.category_name cat))
             r.fault_categories
         end)
-      cs;
+      rs;
     let get tbl k = Option.value ~default:0 (Hashtbl.find_opt tbl k) in
     Printf.printf
       "%-22s | compile-fail: total %5.1f%% (parallelism %d, memory %d, instruction %d)\n"
@@ -163,24 +171,28 @@ let method_label = function
 let eval_direction m ~src ~dst =
   let cs = cases () in
   let total = List.length cs in
-  let compiled = ref 0 and computed = ref 0 in
-  List.iter
-    (fun (c : Registry.case) ->
-      match m with
-      | Llm lm ->
-        let r = Baselines.Llm_baseline.translate lm ~src ~dst ~op:c.op ~shape:c.shape in
-        if r.compiles then incr compiled;
-        if r.computes then incr computed
-      | Xpiler config ->
-        let o = Xpiler.transcompile ~config ~src ~dst ~op:c.op ~shape:c.shape () in
-        (match o.status with
-        | Xpiler.Success ->
-          incr compiled;
-          incr computed
-        | Xpiler.Computation_error _ -> incr compiled
-        | Xpiler.Compile_error _ -> ()))
-    cs;
-  (pct !compiled total, pct !computed total)
+  (* per-case translations run on the domain pool; each body is wrapped in
+     [Trace.without] so per-case tracer emission is suppressed identically
+     whatever the job count, keeping journals byte-stable under --jobs *)
+  let outcomes =
+    Pool.map
+      (fun _task (c : Registry.case) ->
+        Trace.without (fun () ->
+            match m with
+            | Llm lm ->
+              let r = Baselines.Llm_baseline.translate lm ~src ~dst ~op:c.op ~shape:c.shape in
+              (r.compiles, r.computes)
+            | Xpiler config -> (
+              let o = Xpiler.transcompile ~config ~src ~dst ~op:c.op ~shape:c.shape () in
+              match o.status with
+              | Xpiler.Success -> (true, true)
+              | Xpiler.Computation_error _ -> (true, false)
+              | Xpiler.Compile_error _ -> (false, false))))
+      cs
+  in
+  let compiled = List.length (List.filter fst outcomes) in
+  let computed = List.length (List.filter snd outcomes) in
+  (pct compiled total, pct computed total)
 
 let table6 () =
   header
@@ -291,19 +303,22 @@ let fig7 () =
           let class_cases =
             List.filter (fun (c : Registry.case) -> c.op.Opdef.cls = cls) (cases ())
           in
-          let speedups, correct =
-            List.fold_left
-              (fun (acc, n) (c : Registry.case) ->
-                let o =
-                  Xpiler.transcompile ~config:Config.tuned ~src ~dst ~op:c.op ~shape:c.shape ()
-                in
-                match (o.Xpiler.status, o.Xpiler.kernel) with
-                | Xpiler.Success, Some k ->
-                  let s = Baselines.Vendor.speedup_of_translated dst c.op c.shape k in
-                  (s :: acc, n + 1)
-                | _ -> (acc, n))
-              ([], 0) class_cases
+          let speedups =
+            Pool.map
+              (fun _task (c : Registry.case) ->
+                Trace.without (fun () ->
+                    let o =
+                      Xpiler.transcompile ~config:Config.tuned ~src ~dst ~op:c.op
+                        ~shape:c.shape ()
+                    in
+                    match (o.Xpiler.status, o.Xpiler.kernel) with
+                    | Xpiler.Success, Some k ->
+                      Some (Baselines.Vendor.speedup_of_translated dst c.op c.shape k)
+                    | _ -> None))
+              class_cases
+            |> List.filter_map Fun.id
           in
+          let correct = List.length speedups in
           all_speedups := speedups @ !all_speedups;
           let geomean xs =
             match xs with

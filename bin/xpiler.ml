@@ -37,6 +37,13 @@ let seed_arg =
   let doc = "Seed for the (simulated) neural oracle." in
   Arg.(value & opt int 20250706 & info [ "seed" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel auto-tuning. Deterministic: any value produces \
+     identical results and traces, only wall-clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc =
     "Write a JSONL trace journal of the translation to $(docv) (replay it with `xpiler \
@@ -74,12 +81,13 @@ let find_op name =
 
 (* ---- translate ------------------------------------------------------------ *)
 
-let translate op_name shape src dst tune seed trace trace_level =
+let translate op_name shape src dst tune seed jobs trace trace_level =
   let op = find_op op_name in
   let shape = parse_shape op shape in
   let config =
     let base = if tune then Config.tuned else Config.default in
     let base = Config.with_seed base seed in
+    let base = Config.with_jobs base jobs in
     match trace with
     | Some sink -> Config.with_trace ~sink base trace_level
     | None -> base
@@ -110,7 +118,7 @@ let translate_cmd =
   Cmd.v info
     Term.(
       const translate $ op_arg $ shape_arg $ src_arg $ dst_arg $ tune_arg $ seed_arg
-      $ trace_arg $ trace_level_arg)
+      $ jobs_arg $ trace_arg $ trace_level_arg)
 
 (* ---- show-source ----------------------------------------------------------- *)
 

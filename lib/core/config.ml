@@ -8,6 +8,7 @@ type t = {
   tune : bool;
   mcts : Xpiler_tuning.Mcts.config;
   unit_test_trials : int;
+  jobs : int;
   trace_level : Xpiler_obs.Tracer.level;
   trace_sink : string option;
 }
@@ -22,6 +23,7 @@ let default =
     tune = false;
     mcts = { Xpiler_tuning.Mcts.default_config with simulations = 48; max_depth = 6 };
     unit_test_trials = 2;
+    jobs = 1;
     trace_level = Xpiler_obs.Tracer.Off;
     trace_sink = None
   }
@@ -37,4 +39,5 @@ let without_smt_self_debug =
 let tuned = { default with name = "qimeng-xpiler-tuned"; tune = true }
 
 let with_seed t seed = { t with seed }
+let with_jobs t jobs = { t with jobs = max 1 jobs }
 let with_trace ?sink t level = { t with trace_level = level; trace_sink = sink }

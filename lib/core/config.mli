@@ -10,6 +10,9 @@ type t = {
   tune : bool;  (** hierarchical auto-tuning for performance *)
   mcts : Xpiler_tuning.Mcts.config;
   unit_test_trials : int;
+  jobs : int;
+      (** domain-pool width for auto-tuning; results are identical for any
+          value (deterministic parallel evaluation), only wall-clock changes *)
   trace_level : Xpiler_obs.Tracer.level;
       (** [Off]: no tracing. [Stages]/[Detail]: record a per-translation
           event stream, returned in [Xpiler.outcome.trace]. *)
@@ -38,6 +41,9 @@ val tuned : t
     simulated runs fast — the knob is exposed. *)
 
 val with_seed : t -> int -> t
+
+val with_jobs : t -> int -> t
+(** Set the worker-domain count (clamped to at least 1). *)
 
 val with_trace : ?sink:string -> t -> Xpiler_obs.Tracer.level -> t
 (** Enable tracing, optionally journaling to [sink] (a JSONL path). *)

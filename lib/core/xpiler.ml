@@ -308,7 +308,7 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
       if status = Success && config.Config.tune then begin
         let result =
           Xpiler_tuning.Mcts.search ~config:config.Config.mcts ~clock ~buffer_sizes
-            ~platform:target k
+            ~jobs:config.Config.jobs ~platform:target k
         in
         let tuned = result.Xpiler_tuning.Mcts.best_kernel in
         if unit_ok tuned then (tuned, Some result.Xpiler_tuning.Mcts.best_reward)

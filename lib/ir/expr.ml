@@ -71,6 +71,25 @@ let rec equal a b =
 
 let compare = Stdlib.compare
 
+(* Full-depth structural hashing: the polymorphic [Hashtbl.hash] stops after
+   a bounded number of nodes, which collides badly on expressions that differ
+   only deep inside an index computation. Paired with [equal] this keys the
+   evaluation engine's memo tables. *)
+let hash_comb h x = ((h * 65599) + x) land max_int
+
+let rec hash_fold h = function
+  | Int n -> hash_comb (hash_comb h 3) n
+  | Float f -> hash_comb (hash_comb h 5) (Hashtbl.hash f)
+  | Var x -> hash_comb (hash_comb h 7) (Hashtbl.hash x)
+  | Load (b, i) -> hash_fold (hash_comb (hash_comb h 11) (Hashtbl.hash b)) i
+  | Binop (op, l, r) ->
+    hash_fold (hash_fold (hash_comb (hash_comb h 13) (Hashtbl.hash op)) l) r
+  | Unop (op, x) -> hash_fold (hash_comb (hash_comb h 17) (Hashtbl.hash op)) x
+  | Select (c, t, f) -> hash_fold (hash_fold (hash_fold (hash_comb h 19) c) t) f
+  | Cast (d, x) -> hash_fold (hash_comb (hash_comb h 23) (Hashtbl.hash d)) x
+
+let hash e = hash_fold 0 e
+
 let rec map f e =
   let e' =
     match e with

@@ -35,6 +35,18 @@ type t =
 
 val binop_to_string : binop -> string
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Full-depth structural hash, consistent with [equal] (unlike the
+    polymorphic [Hashtbl.hash], which truncates deep terms). *)
+
+val hash_fold : int -> t -> int
+(** [hash_fold h e] mixes [e]'s structure into accumulator [h]; building
+    block for the [Stmt]/[Kernel] hashes. *)
+
+(** The underlying accumulator mix, exposed so the other IR hashes compose
+    with the same function. *)
+val hash_comb : int -> int -> int
 val compare : t -> t -> int
 
 val map : (t -> t option) -> t -> t

@@ -105,6 +105,16 @@ let equal a b =
   && List.length a.params = List.length b.params
   && List.for_all2 Expr.equal a.params b.params
 
+let hash_fold h t =
+  let comb = Expr.hash_comb in
+  let href h (r : buf_ref) = Expr.hash_fold (comb h (Hashtbl.hash r.buf)) r.offset in
+  let h = comb h (Hashtbl.hash t.op) in
+  let h = href h t.dst in
+  let h = List.fold_left href (comb h 3) t.srcs in
+  List.fold_left Expr.hash_fold (comb h 5) t.params
+
+let hash t = hash_fold 0 t
+
 let map_exprs f t =
   { t with
     dst = { t.dst with offset = f t.dst.offset };

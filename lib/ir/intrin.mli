@@ -48,6 +48,11 @@ val op_name : op -> string
 val op_of_name : string -> op option
 val equal_op : op -> op -> bool
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Full-depth structural hash, consistent with [equal]. *)
+
+val hash_fold : int -> t -> int
 val arity : op -> int
 (** Number of source buffers the op expects. *)
 

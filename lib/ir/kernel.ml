@@ -16,6 +16,22 @@ let equal a b =
   String.equal a.name b.name && a.params = b.params && a.launch = b.launch
   && Stmt.equal_block a.body b.body
 
+let hash t =
+  let comb = Expr.hash_comb in
+  let h = comb 0 (Hashtbl.hash t.name) in
+  let h =
+    List.fold_left
+      (fun h (p : param) ->
+        comb
+          (comb (comb h (Hashtbl.hash p.name)) (Hashtbl.hash p.dtype))
+          (if p.is_buffer then 1 else 0))
+      h t.params
+  in
+  let h =
+    List.fold_left (fun h (ax, n) -> comb (comb h (Hashtbl.hash ax)) n) (comb h 3) t.launch
+  in
+  Stmt.hash_fold_block h t.body
+
 let axis_extent t ax = List.assoc_opt ax t.launch
 let with_body t body = { t with body }
 let with_launch t launch = { t with launch }

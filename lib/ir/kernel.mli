@@ -19,6 +19,13 @@ val buffer_params : t -> param list
 val scalar_params : t -> param list
 val param_names : t -> string list
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Cheap full-depth structural hash, consistent with [equal]. Replaces
+    [Marshal]-based keys in the tuner's reward cache and keys the evaluation
+    engine's compile/throughput/reference-output memo tables
+    (via [Hashtbl.Make]). *)
+
 val axis_extent : t -> Axis.t -> int option
 val with_body : t -> Stmt.t list -> t
 val with_launch : t -> (Axis.t * int) list -> t

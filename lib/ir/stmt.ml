@@ -39,6 +39,45 @@ let rec equal a b =
 
 and equal_block b1 b2 = List.length b1 = List.length b2 && List.for_all2 equal b1 b2
 
+let rec hash_fold h stmt =
+  let comb = Expr.hash_comb in
+  match stmt with
+  | For r ->
+    hash_fold_block
+      (Expr.hash_fold
+         (Expr.hash_fold
+            (comb (comb (comb h 3) (Hashtbl.hash r.var)) (Hashtbl.hash r.kind))
+            r.lo)
+         r.extent)
+      r.body
+  | Let r -> Expr.hash_fold (comb (comb h 5) (Hashtbl.hash r.var)) r.value
+  | Assign r -> Expr.hash_fold (comb (comb h 7) (Hashtbl.hash r.var)) r.value
+  | Store r ->
+    Expr.hash_fold (Expr.hash_fold (comb (comb h 11) (Hashtbl.hash r.buf)) r.index) r.value
+  | Alloc r ->
+    comb
+      (comb (comb (comb (comb h 13) (Hashtbl.hash r.buf)) (Hashtbl.hash r.scope))
+         (Hashtbl.hash r.dtype))
+      r.size
+  | If r ->
+    hash_fold_block (hash_fold_block (Expr.hash_fold (comb h 17) r.cond) r.then_) r.else_
+  | Memcpy r ->
+    Expr.hash_fold
+      (Expr.hash_fold
+         (Expr.hash_fold
+            (comb (comb (comb h 19) (Hashtbl.hash r.dst.buf)) (Hashtbl.hash r.src.buf))
+            r.dst.offset)
+         r.src.offset)
+      r.len
+  | Intrinsic i -> Intrin.hash_fold (comb h 23) i
+  | Sync -> comb h 29
+  | Annot r -> comb (comb (comb h 31) (Hashtbl.hash r.key)) (Hashtbl.hash r.value)
+
+and hash_fold_block h block = List.fold_left hash_fold (Expr.hash_comb h 37) block
+
+let hash s = hash_fold 0 s
+let hash_block b = hash_fold_block 0 b
+
 let rec map_exprs f stmt =
   match stmt with
   | For r -> For { r with lo = f r.lo; extent = f r.extent; body = List.map (map_exprs f) r.body }

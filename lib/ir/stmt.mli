@@ -29,6 +29,13 @@ type t =
 val equal : t -> t -> bool
 val equal_block : t list -> t list -> bool
 
+val hash : t -> int
+(** Full-depth structural hash, consistent with [equal]. *)
+
+val hash_block : t list -> int
+val hash_fold : int -> t -> int
+val hash_fold_block : int -> t list -> int
+
 val map_exprs : (Expr.t -> Expr.t) -> t -> t
 (** Rewrite every expression in the statement tree (loop bounds, indices,
     conditions, intrinsic offsets/params, …). *)

@@ -1,0 +1,114 @@
+(** The fast evaluation engine: one-shot lowering of a kernel into OCaml
+    closures over slot-indexed frames.
+
+    Variable and buffer names are resolved to array slots at compile time, so
+    execution never walks an association list or the statement tree. The
+    numerical semantics, error messages, statistics accounting, fuel
+    discipline and SIMT fiber scheduling are byte-for-byte those of the
+    tree-walking reference interpreter — {!Interp.run} is a thin wrapper over
+    {!cached}, and [test/test_fuzz.ml] checks the two engines differentially.
+
+    This module also owns the runtime pieces both engines share (value and
+    statistics types, scalar operators, intrinsic semantics, the barrier
+    effect and the fiber scheduler), so the engines cannot drift apart. *)
+
+open Xpiler_ir
+
+exception Runtime_error of string
+(** Raised for dynamic errors: out-of-bounds accesses, unbound names,
+    division by zero, fuel exhaustion, negative extents, argument-binding
+    mismatches. *)
+
+exception Halt
+(** Internal: raised when the store limit of {!run_prefix} is reached. *)
+
+type arg = Buf of Tensor.t | Scalar_int of int | Scalar_float of float
+
+type stats = {
+  mutable steps : int;
+  mutable stores : int;
+  mutable intrinsic_elems : int;
+  mutable memcpy_elems : int;
+  mutable barriers : int;
+}
+
+type value = I of int | F of float
+
+type ctx = {
+  stats : stats;
+  fuel : int;
+  trace : (string -> int -> float -> unit) option;
+  store_limit : int;  (** max stores before Halt; max_int = unlimited *)
+  traffic : (string, int) Hashtbl.t option;
+      (** per-buffer written elements, tallied only when profiling *)
+}
+
+(** {1 Shared runtime — used by the tree-walking reference interpreter} *)
+
+val to_float : value -> float
+val to_int : value -> int
+val truthy : value -> bool
+val of_bool : bool -> value
+val err : ('a, unit, string, 'b) format4 -> 'a
+val tally : ctx -> string -> int -> unit
+val buf_get : Tensor.t -> string -> int -> float
+val buf_set : Tensor.t -> string -> int -> float -> unit
+val int_binop : Expr.binop -> int -> int -> value
+val float_binop : Expr.binop -> float -> float -> value
+val unop : Expr.unop -> value -> value
+
+type _ Effect.t += Barrier : unit Effect.t
+
+val is_thread_axis : Axis.t -> bool
+
+type fiber_state = Done | Suspended of (unit -> fiber_state)
+
+val run_fiber_group : (unit -> unit) list -> unit
+(** Runs SIMT fibers round-robin between barriers, reversing order each
+    round to deterministically expose missing-barrier races. *)
+
+val intrinsic_exec :
+  stats ->
+  name:string ->
+  op:Intrin.op ->
+  dst_t:Tensor.t ->
+  dname:string ->
+  dst_off:int ->
+  srcs:(Tensor.t * string * int) array ->
+  params:int array ->
+  fparam:(unit -> float) ->
+  unit
+(** Execute one intrinsic against already-evaluated operands. [fparam]
+    re-evaluates the second parameter as a float (for
+    [Vec_scale]/[Vec_adds]/[Vec_fill]); it must raise
+    ["%s: no scalar"] when absent. *)
+
+val fresh_stats : unit -> stats
+val profile : stats -> (string, int) Hashtbl.t option -> unit
+
+(** {1 The compiler} *)
+
+type frame = { scalars : value array; ints : int array; bufs : Tensor.t array }
+(** A runtime activation: every binding site of the kernel got a distinct
+    slot at compile time. Variables proven always-integer (loop counters,
+    int-valued lets that are never reassigned) live unboxed in [ints];
+    everything else is a boxed [value] in [scalars]. Fibers copy all three
+    arrays (cheap — the tensors themselves stay shared). *)
+
+type t
+(** A compiled kernel. *)
+
+val compile : Kernel.t -> t
+val kernel : t -> Kernel.t
+val bind_args : t -> (string * arg) list -> frame
+
+val run : ?fuel:int -> ?trace:(string -> int -> float -> unit) -> t -> (string * arg) list -> stats
+(** Same contract as [Interp.run]. *)
+
+val run_prefix : ?fuel:int -> t -> stop_after:int -> (string * arg) list -> stats
+(** Same contract as [Interp.run_prefix]. *)
+
+val cached : Kernel.t -> t
+(** Bounded thread-safe memo keyed by structural [Kernel.hash]/[Kernel.equal];
+    the tuner re-executes the same candidate kernels many times, so this
+    makes compilation cost amortize to zero. *)

@@ -1,10 +1,17 @@
 open Xpiler_ir
-exception Runtime_error of string
-exception Halt
 
-type arg = Buf of Tensor.t | Scalar_int of int | Scalar_float of float
+(* The shared runtime (value/stat types, operator and intrinsic semantics,
+   barrier effect, fiber scheduler) lives in Compile so the closure-compiled
+   engine and this reference tree-walker agree by construction. [run] and
+   [run_prefix] dispatch to the compiled engine; [run_tree] keeps the direct
+   tree-walker as the differential-testing baseline. *)
 
-type stats = {
+exception Runtime_error = Compile.Runtime_error
+exception Halt = Compile.Halt
+
+type arg = Compile.arg = Buf of Tensor.t | Scalar_int of int | Scalar_float of float
+
+type stats = Compile.stats = {
   mutable steps : int;
   mutable stores : int;
   mutable intrinsic_elems : int;
@@ -12,118 +19,58 @@ type stats = {
   mutable barriers : int;
 }
 
-type value = I of int | F of float
+type value = Compile.value = I of int | F of float
 
-type ctx = {
+type ctx = Compile.ctx = {
   stats : stats;
   fuel : int;
   trace : (string -> int -> float -> unit) option;
-  store_limit : int;  (** max stores before Halt; max_int = unlimited *)
+  store_limit : int;
   traffic : (string, int) Hashtbl.t option;
-      (** per-buffer written elements, tallied only when profiling *)
 }
 
-type env = { scalars : (string * value ref) list; bufs : (string * Tensor.t) list }
+let to_float = Compile.to_float
+let to_int = Compile.to_int
+let truthy = Compile.truthy
+let err fmt = Compile.err fmt
+let tally = Compile.tally
+let buf_get = Compile.buf_get
+let buf_set = Compile.buf_set
+let int_binop = Compile.int_binop
+let float_binop = Compile.float_binop
+let unop = Compile.unop
+let is_thread_axis = Compile.is_thread_axis
+let run_fiber_group = Compile.run_fiber_group
+let fresh_stats = Compile.fresh_stats
 
-type _ Effect.t += Barrier : unit Effect.t
+(* ---- the compiled fast path -------------------------------------------- *)
 
-let to_float = function I n -> float_of_int n | F f -> f
-let to_int = function I n -> n | F f -> int_of_float f
-let truthy = function I n -> n <> 0 | F f -> f <> 0.0
-let of_bool b = I (if b then 1 else 0)
+let run ?fuel ?trace kernel args = Compile.run ?fuel ?trace (Compile.cached kernel) args
 
-let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+let run_prefix ?fuel kernel ~stop_after args =
+  Compile.run_prefix ?fuel (Compile.cached kernel) ~stop_after args
 
-let tally ctx buf n =
-  match ctx.traffic with
-  | None -> ()
-  | Some tbl -> Hashtbl.replace tbl buf (n + Option.value ~default:0 (Hashtbl.find_opt tbl buf))
+(* ---- tree-walking reference interpreter -------------------------------- *)
+
+(* Environments are hash tables with [Hashtbl.add]/[remove] as push/pop:
+   lookup is O(1) instead of a linear assoc-list scan, and shadowing keeps
+   the exact stack discipline of the original cons-based environment. *)
+type env = { scalars : (string, value ref) Hashtbl.t; bufs : (string, Tensor.t) Hashtbl.t }
 
 let lookup_scalar env x =
-  match List.assoc_opt x env.scalars with
+  match Hashtbl.find_opt env.scalars x with
   | Some r -> !r
   | None -> err "unbound variable %s" x
 
 let lookup_buf env b =
-  match List.assoc_opt b env.bufs with
+  match Hashtbl.find_opt env.bufs b with
   | Some t -> t
   | None -> err "unbound buffer %s" b
-
-let buf_get t b i =
-  if i < 0 || i >= Tensor.length t then err "out-of-bounds read %s[%d] (size %d)" b i (Tensor.length t)
-  else Tensor.get t i
-
-let buf_set t b i v =
-  if i < 0 || i >= Tensor.length t then
-    err "out-of-bounds write %s[%d] (size %d)" b i (Tensor.length t)
-  else Tensor.set t i v
 
 let load env b i =
   let t = lookup_buf env b in
   let v = buf_get t b i in
   if Dtype.is_float t.Tensor.dtype then F v else I (int_of_float v)
-
-let int_binop op a b =
-  match (op : Expr.binop) with
-  | Add -> I (a + b)
-  | Sub -> I (a - b)
-  | Mul -> I (a * b)
-  | Div -> if b = 0 then err "integer division by zero" else I (a / b)
-  | Mod -> if b = 0 then err "integer modulo by zero" else I (a mod b)
-  | Min -> I (min a b)
-  | Max -> I (max a b)
-  | Eq -> of_bool (a = b)
-  | Ne -> of_bool (a <> b)
-  | Lt -> of_bool (a < b)
-  | Le -> of_bool (a <= b)
-  | Gt -> of_bool (a > b)
-  | Ge -> of_bool (a >= b)
-  | And -> of_bool (a <> 0 && b <> 0)
-  | Or -> of_bool (a <> 0 || b <> 0)
-
-let float_binop op a b =
-  match (op : Expr.binop) with
-  | Add -> F (a +. b)
-  | Sub -> F (a -. b)
-  | Mul -> F (a *. b)
-  | Div -> F (a /. b)
-  | Mod -> F (Float.rem a b)
-  | Min -> F (Float.min a b)
-  | Max -> F (Float.max a b)
-  | Eq -> of_bool (a = b)
-  | Ne -> of_bool (a <> b)
-  | Lt -> of_bool (a < b)
-  | Le -> of_bool (a <= b)
-  | Gt -> of_bool (a > b)
-  | Ge -> of_bool (a >= b)
-  | And -> of_bool (a <> 0.0 && b <> 0.0)
-  | Or -> of_bool (a <> 0.0 || b <> 0.0)
-
-let unop op v =
-  match (op : Expr.unop) with
-  | Neg -> ( match v with I n -> I (-n) | F f -> F (-.f))
-  | Not -> of_bool (not (truthy v))
-  | Exp -> F (exp (to_float v))
-  | Log -> F (log (to_float v))
-  | Sqrt -> F (sqrt (to_float v))
-  | Rsqrt -> F (1.0 /. sqrt (to_float v))
-  | Tanh -> F (tanh (to_float v))
-  | Erf ->
-    (* Abramowitz & Stegun 7.1.26 rational approximation *)
-    let x = to_float v in
-    let s = if x < 0.0 then -1.0 else 1.0 in
-    let x = Float.abs x in
-    let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
-    let y =
-      1.0
-      -. (((((1.061405429 *. t -. 1.453152027) *. t) +. 1.421413741) *. t -. 0.284496736)
-           *. t +. 0.254829592)
-         *. t *. exp (-.x *. x)
-    in
-    F (s *. y)
-  | Abs -> ( match v with I n -> I (abs n) | F f -> F (Float.abs f))
-  | Recip -> F (1.0 /. to_float v)
-  | Floor -> F (Float.floor (to_float v))
 
 let rec eval env (e : Expr.t) : value =
   match e with
@@ -132,7 +79,8 @@ let rec eval env (e : Expr.t) : value =
   | Var x -> lookup_scalar env x
   | Load (b, i) -> load env b (to_int (eval env i))
   | Binop (op, l, r) -> (
-    let a = eval env l and b = eval env r in
+    let a = eval env l in
+    let b = eval env r in
     match (a, b) with
     | I x, I y -> int_binop op x y
     | _ -> float_binop op (to_float a) (to_float b))
@@ -145,217 +93,67 @@ let rec eval env (e : Expr.t) : value =
 let eval_int env e = to_int (eval env e)
 let eval_float env e = to_float (eval env e)
 
-(* ---- intrinsic semantics ---------------------------------------------- *)
-
 let intrinsic_exec ctx env (i : Intrin.t) =
+  let name = Intrin.op_name i.op in
   let dst_t = lookup_buf env i.dst.buf in
   let dst_off = eval_int env i.dst.offset in
   let srcs =
-    List.map
-      (fun (r : Intrin.buf_ref) -> (lookup_buf env r.buf, r.buf, eval_int env r.offset))
-      i.srcs
+    Array.of_list
+      (List.map
+         (fun (r : Intrin.buf_ref) -> (lookup_buf env r.buf, r.buf, eval_int env r.offset))
+         i.srcs)
   in
-  let params = List.map (eval_int env) i.params in
-  let src n =
-    match List.nth_opt srcs n with
-    | Some s -> s
-    | None -> err "intrinsic %s: missing source %d" (Intrin.op_name i.op) n
+  let params = Array.of_list (List.map (eval_int env) i.params) in
+  let fparam () =
+    match i.params with _ :: e :: _ -> eval_float env e | _ -> err "%s: no scalar" name
   in
-  let param n =
-    match List.nth_opt params n with
-    | Some p -> p
-    | None -> err "intrinsic %s: missing parameter %d" (Intrin.op_name i.op) n
-  in
-  let dname = i.dst.buf in
-  let map2 f =
-    let len = param 0 in
-    let at, an, ao = src 0 and bt, bn, bo = src 1 in
-    for k = 0 to len - 1 do
-      buf_set dst_t dname (dst_off + k) (f (buf_get at an (ao + k)) (buf_get bt bn (bo + k)))
-    done;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + len
-  in
-  let map1 f =
-    let len = param 0 in
-    let at, an, ao = src 0 in
-    for k = 0 to len - 1 do
-      buf_set dst_t dname (dst_off + k) (f (buf_get at an (ao + k)))
-    done;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + len
-  in
-  let float_param n = float_of_int (param n) in
-  match i.op with
-  | Vec_add -> map2 ( +. )
-  | Vec_sub -> map2 ( -. )
-  | Vec_mul -> map2 ( *. )
-  | Vec_max -> map2 Float.max
-  | Vec_min -> map2 Float.min
-  | Vec_exp -> map1 exp
-  | Vec_log -> map1 log
-  | Vec_sqrt -> map1 sqrt
-  | Vec_recip -> map1 (fun x -> 1.0 /. x)
-  | Vec_tanh -> map1 tanh
-  | Vec_erf -> map1 (fun x -> to_float (unop Expr.Erf (F x)))
-  | Vec_relu -> map1 (fun x -> Float.max x 0.0)
-  | Vec_sigmoid -> map1 (fun x -> 1.0 /. (1.0 +. exp (-.x)))
-  | Vec_gelu ->
-    map1 (fun x -> 0.5 *. x *. (1.0 +. to_float (unop Expr.Erf (F (x *. 0.7071067811865476)))))
-  | Vec_sign -> map1 (fun x -> if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0)
-  | Vec_copy -> map1 Fun.id
-  | Vec_scale ->
-    (* params are expressions; scalar may be float-valued *)
-    let len = param 0 in
-    let s =
-      match i.params with _ :: e :: _ -> eval_float env e | _ -> err "vec_scale: no scalar"
-    in
-    let at, an, ao = src 0 in
-    for k = 0 to len - 1 do
-      buf_set dst_t dname (dst_off + k) (buf_get at an (ao + k) *. s)
-    done;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + len
-  | Vec_adds ->
-    let len = param 0 in
-    let s =
-      match i.params with _ :: e :: _ -> eval_float env e | _ -> err "vec_adds: no scalar"
-    in
-    let at, an, ao = src 0 in
-    for k = 0 to len - 1 do
-      buf_set dst_t dname (dst_off + k) (buf_get at an (ao + k) +. s)
-    done;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + len
-  | Vec_fill ->
-    let len = param 0 in
-    let s =
-      match i.params with _ :: e :: _ -> eval_float env e | _ -> err "vec_fill: no scalar"
-    in
-    for k = 0 to len - 1 do
-      buf_set dst_t dname (dst_off + k) s
-    done;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + len
-  | Vec_reduce_sum ->
-    let len = param 0 in
-    let at, an, ao = src 0 in
-    let acc = ref 0.0 in
-    for k = 0 to len - 1 do
-      acc := !acc +. buf_get at an (ao + k)
-    done;
-    buf_set dst_t dname dst_off !acc;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + len
-  | Vec_reduce_max ->
-    let len = param 0 in
-    if len <= 0 then err "vec_reduce_max: empty input";
-    let at, an, ao = src 0 in
-    let acc = ref (buf_get at an ao) in
-    for k = 1 to len - 1 do
-      acc := Float.max !acc (buf_get at an (ao + k))
-    done;
-    buf_set dst_t dname dst_off !acc;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + len
-  | Mma | Mlp ->
-    let m = param 0 and k = param 1 and n = param 2 in
-    let at, an, ao = src 0 and bt, bn, bo = src 1 in
-    for r = 0 to m - 1 do
-      for c = 0 to n - 1 do
-        let acc = ref (buf_get dst_t dname (dst_off + (r * n) + c)) in
-        for l = 0 to k - 1 do
-          acc :=
-            !acc +. (buf_get at an (ao + (r * k) + l) *. buf_get bt bn (bo + (l * n) + c))
-        done;
-        buf_set dst_t dname (dst_off + (r * n) + c) !acc
-      done
-    done;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + (m * n * k)
-  | Conv2d ->
-    let co = param 0 and ci = param 1 and kh = param 2 and kw = param 3 in
-    let ho = param 4 and wo = param 5 and stride = param 6 in
-    let wi = ((wo - 1) * stride) + kw in
-    let it, iname, io = src 0 and wt, wname, wo_ = src 1 in
-    ignore float_param;
-    for oh = 0 to ho - 1 do
-      for ow = 0 to wo - 1 do
-        for oc = 0 to co - 1 do
-          let acc = ref (buf_get dst_t dname (dst_off + (((oh * wo) + ow) * co) + oc)) in
-          for r = 0 to kh - 1 do
-            for q = 0 to kw - 1 do
-              for c = 0 to ci - 1 do
-                let iv =
-                  buf_get it iname
-                    (io + (((((oh * stride) + r) * wi) + (ow * stride) + q) * ci) + c)
-                in
-                let wv = buf_get wt wname (wo_ + (((((oc * kh) + r) * kw) + q) * ci) + c) in
-                acc := !acc +. (iv *. wv)
-              done
-            done
-          done;
-          buf_set dst_t dname (dst_off + (((oh * wo) + ow) * co) + oc) !acc
-        done
-      done
-    done;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + (ho * wo * co * kh * kw * ci)
-  | Dp4a ->
-    let len = param 0 in
-    if len mod 4 <> 0 then err "dp4a: length %d not a multiple of 4" len;
-    let at, an, ao = src 0 and bt, bn, bo = src 1 in
-    for g = 0 to (len / 4) - 1 do
-      let acc = ref (buf_get dst_t dname (dst_off + g)) in
-      for j = 0 to 3 do
-        acc :=
-          !acc
-          +. (buf_get at an (ao + (g * 4) + j) *. buf_get bt bn (bo + (g * 4) + j))
-      done;
-      buf_set dst_t dname (dst_off + g) !acc
-    done;
-    ctx.stats.intrinsic_elems <- ctx.stats.intrinsic_elems + len
+  Compile.intrinsic_exec ctx.stats ~name ~op:i.op ~dst_t ~dname:i.dst.buf ~dst_off ~srcs
+    ~params ~fparam
 
-(* ---- statement execution ---------------------------------------------- *)
+(* per-fiber private scalars: rebuild the table with fresh refs, preserving
+   each name's shadowing stack *)
+let copy_scalars scalars =
+  let fresh = Hashtbl.create (Hashtbl.length scalars) in
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name _ ->
+      if not (Hashtbl.mem seen name) then begin
+        Hashtbl.add seen name ();
+        (* find_all returns most-recent first; re-add oldest first *)
+        List.iter
+          (fun r -> Hashtbl.add fresh name (ref !r))
+          (List.rev (Hashtbl.find_all scalars name))
+      end)
+    scalars;
+  fresh
 
-let is_thread_axis = function
-  | Axis.Thread_x | Axis.Thread_y | Axis.Thread_z | Axis.Core_id -> true
-  | Axis.Block_x | Axis.Block_y | Axis.Block_z | Axis.Task_id | Axis.Cluster_id -> false
+let rec exec_block ctx env block =
+  let pushed_s = ref [] and pushed_b = ref [] in
+  List.iter
+    (fun stmt ->
+      match exec_stmt ctx env stmt with
+      | None -> ()
+      | Some (`Scalar v) -> pushed_s := v :: !pushed_s
+      | Some (`Buf b) -> pushed_b := b :: !pushed_b)
+    block;
+  (* bindings scope to the end of the block *)
+  List.iter (Hashtbl.remove env.scalars) !pushed_s;
+  List.iter (Hashtbl.remove env.bufs) !pushed_b
 
-type fiber_state = Done | Suspended of (unit -> fiber_state)
-
-let run_fiber_group fibers =
-  let open Effect.Deep in
-  let start f =
-    match_with f ()
-      { retc = (fun () -> Done);
-        exnc = raise;
-        effc =
-          (fun (type a) (eff : a Effect.t) ->
-            match eff with
-            | Barrier ->
-              Some
-                (fun (k : (a, _) continuation) -> Suspended (fun () -> continue k ()))
-            | _ -> None)
-      }
-  in
-  (* reverse order within each round deterministically exposes
-     missing-barrier races *)
-  let rec rounds states =
-    let pending =
-      List.filter_map (function Done -> None | Suspended r -> Some r) states
-    in
-    if pending <> [] then rounds (List.rev_map (fun r -> r ()) pending)
-  in
-  rounds (List.rev_map start fibers)
-
-let copy_scalars scalars = List.map (fun (n, r) -> (n, ref !r)) scalars
-
-let rec exec_block ctx env block = ignore (List.fold_left (exec_stmt ctx) env block)
-
-and exec_stmt ctx env stmt : env =
+and exec_stmt ctx env stmt : [ `Scalar of string | `Buf of string ] option =
   ctx.stats.steps <- ctx.stats.steps + 1;
   if ctx.stats.steps > ctx.fuel then err "fuel exhausted (non-terminating program?)";
   match stmt with
-  | Stmt.Annot _ -> env
+  | Stmt.Annot _ -> None
   | Stmt.Let { var; value } ->
-    { env with scalars = (var, ref (eval env value)) :: env.scalars }
+    let v = eval env value in
+    Hashtbl.add env.scalars var (ref v);
+    Some (`Scalar var)
   | Stmt.Assign { var; value } ->
-    (match List.assoc_opt var env.scalars with
+    (match Hashtbl.find_opt env.scalars var with
     | Some r -> r := eval env value
     | None -> err "assignment to unbound variable %s" var);
-    env
+    None
   | Stmt.Store { buf; index; value } ->
     let t = lookup_buf env buf in
     let i = eval_int env index in
@@ -366,15 +164,18 @@ and exec_stmt ctx env stmt : env =
     tally ctx buf 1;
     (match ctx.trace with Some f -> f buf i v | None -> ());
     if ctx.stats.stores >= ctx.store_limit then raise Halt;
-    env
+    None
   | Stmt.Alloc { buf; dtype; size; _ } ->
-    { env with bufs = (buf, Tensor.create ~dtype size) :: env.bufs }
+    Hashtbl.add env.bufs buf (Tensor.create ~dtype size);
+    Some (`Buf buf)
   | Stmt.If { cond; then_; else_ } ->
     if truthy (eval env cond) then exec_block ctx env then_ else exec_block ctx env else_;
-    env
+    None
   | Stmt.Memcpy { dst; src; len } ->
-    let dt = lookup_buf env dst.buf and st = lookup_buf env src.buf in
-    let doff = eval_int env dst.offset and soff = eval_int env src.offset in
+    let dt = lookup_buf env dst.buf in
+    let st = lookup_buf env src.buf in
+    let doff = eval_int env dst.offset in
+    let soff = eval_int env src.offset in
     let n = eval_int env len in
     if n < 0 then err "memcpy: negative length %d" n;
     for k = 0 to n - 1 do
@@ -382,16 +183,16 @@ and exec_stmt ctx env stmt : env =
     done;
     ctx.stats.memcpy_elems <- ctx.stats.memcpy_elems + n;
     tally ctx dst.buf n;
-    env
+    None
   | Stmt.Intrinsic i ->
     let before = ctx.stats.intrinsic_elems in
     intrinsic_exec ctx env i;
     tally ctx i.Intrin.dst.Intrin.buf (ctx.stats.intrinsic_elems - before);
-    env
+    None
   | Stmt.Sync ->
     ctx.stats.barriers <- ctx.stats.barriers + 1;
-    (try Effect.perform Barrier with Effect.Unhandled _ -> ());
-    env
+    (try Effect.perform Compile.Barrier with Effect.Unhandled _ -> ());
+    None
   | Stmt.For { var; lo; extent; kind = Stmt.Parallel ax; body } when is_thread_axis ax ->
     (* collect the maximal immediately-nested chain of thread-parallel loops
        so a barrier synchronizes the whole thread block *)
@@ -404,84 +205,60 @@ and exec_stmt ctx env stmt : env =
     in
     let loops, innermost = chain [ (var, lo, extent) ] body in
     let rec spawn scalars = function
-      | [] -> [ (fun () -> exec_block ctx { env with scalars } innermost) ]
+      | [] ->
+        [ (fun () -> exec_block ctx { env with scalars } innermost) ]
       | (v, lo_e, ext_e) :: rest ->
-        let lo_v = eval_int { env with scalars } lo_e in
-        let ext_v = eval_int { env with scalars } ext_e in
+        let fenv = { env with scalars } in
+        let lo_v = eval_int fenv lo_e in
+        let ext_v = eval_int fenv ext_e in
         if ext_v < 0 then err "negative loop extent in %s" v;
         List.concat
           (List.init ext_v (fun i ->
-               spawn ((v, ref (I (lo_v + i))) :: copy_scalars scalars) rest))
+               let scalars' = copy_scalars scalars in
+               Hashtbl.add scalars' v (ref (I (lo_v + i)));
+               spawn scalars' rest))
     in
     run_fiber_group (spawn env.scalars loops);
-    env
+    None
   | Stmt.For { var; lo; extent; body; _ } ->
     let lo_v = eval_int env lo in
     let ext_v = eval_int env extent in
     if ext_v < 0 then err "negative loop extent in %s" var;
     let cell = ref (I lo_v) in
-    let env' = { env with scalars = (var, cell) :: env.scalars } in
-    for i = lo_v to lo_v + ext_v - 1 do
-      cell := I i;
-      exec_block ctx env' body
-    done;
-    env
-
-(* ---- entry points ------------------------------------------------------ *)
-
-let fresh_stats () = { steps = 0; stores = 0; intrinsic_elems = 0; memcpy_elems = 0; barriers = 0 }
+    Hashtbl.add env.scalars var cell;
+    Fun.protect
+      ~finally:(fun () -> Hashtbl.remove env.scalars var)
+      (fun () ->
+        for i = lo_v to lo_v + ext_v - 1 do
+          cell := I i;
+          exec_block ctx env body
+        done);
+    None
 
 let build_env (kernel : Kernel.t) args =
-  let scalars = ref [] and bufs = ref [] in
+  let env = { scalars = Hashtbl.create 16; bufs = Hashtbl.create 16 } in
   List.iter
     (fun (p : Kernel.param) ->
       match List.assoc_opt p.name args with
       | None -> err "missing argument for parameter %s" p.name
       | Some (Buf t) ->
         if not p.is_buffer then err "parameter %s is scalar but got a buffer" p.name;
-        bufs := (p.name, t) :: !bufs
+        Hashtbl.add env.bufs p.name t
       | Some (Scalar_int n) ->
         if p.is_buffer then err "parameter %s is a buffer but got a scalar" p.name;
-        scalars := (p.name, ref (I n)) :: !scalars
+        Hashtbl.add env.scalars p.name (ref (I n))
       | Some (Scalar_float f) ->
         if p.is_buffer then err "parameter %s is a buffer but got a scalar" p.name;
-        scalars := (p.name, ref (F f)) :: !scalars)
+        Hashtbl.add env.scalars p.name (ref (F f)))
     kernel.Kernel.params;
-  { scalars = !scalars; bufs = !bufs }
+  env
 
-module Trace = Xpiler_obs.Trace
-
-(* profiling hook: per-run op counts and per-buffer write traffic, emitted
-   to the ambient tracer so unit-test and localization executions show up
-   in the per-translation trace *)
-let profile stats traffic =
-  if Trace.enabled () then begin
-    Trace.count "interp.runs";
-    Trace.count ~n:stats.steps "interp.steps";
-    Trace.count ~n:stats.stores "interp.stores";
-    Trace.count ~n:stats.intrinsic_elems "interp.intrinsic_elems";
-    Trace.count ~n:stats.memcpy_elems "interp.memcpy_elems";
-    Trace.count ~n:stats.barriers "interp.barriers";
-    match traffic with
-    | None -> ()
-    | Some tbl ->
-      Hashtbl.fold (fun buf n acc -> (buf, n) :: acc) tbl []
-      |> List.sort compare
-      |> List.iter (fun (buf, n) -> Trace.count ~n ("interp.traffic." ^ buf))
-  end
-
-let run ?(fuel = 200_000_000) ?trace kernel args =
+let run_tree ?(fuel = 200_000_000) ?trace kernel args =
   let stats = fresh_stats () in
-  let traffic = if Trace.enabled () then Some (Hashtbl.create 8) else None in
+  let traffic = if Xpiler_obs.Trace.enabled () then Some (Hashtbl.create 8) else None in
   let ctx = { stats; fuel; trace; store_limit = max_int; traffic } in
   let env = build_env kernel args in
-  Fun.protect ~finally:(fun () -> profile stats traffic) (fun () ->
-      exec_block ctx env kernel.Kernel.body);
-  stats
-
-let run_prefix ?(fuel = 200_000_000) kernel ~stop_after args =
-  let stats = fresh_stats () in
-  let ctx = { stats; fuel; trace = None; store_limit = stop_after; traffic = None } in
-  let env = build_env kernel args in
-  (try exec_block ctx env kernel.Kernel.body with Halt -> ());
+  Fun.protect
+    ~finally:(fun () -> Compile.profile stats traffic)
+    (fun () -> exec_block ctx env kernel.Kernel.body);
   stats

@@ -14,13 +14,20 @@ open Xpiler_ir
 
     Outcomes map onto the paper's metrics: raising [Runtime_error] (out of
     bounds, unbound name, fuel exhausted, division by zero) means the
-    translated kernel fails its unit test. *)
+    translated kernel fails its unit test.
+
+    [run] and [run_prefix] execute through {!Compile}: the kernel is lowered
+    once into OCaml closures over slot-indexed frames (memoized on the
+    kernel's structural hash) and then executed without walking the statement
+    tree. {!run_tree} keeps the direct tree-walker; the differential property
+    in [test/test_fuzz.ml] holds the two engines to identical outputs, stats
+    and error messages. *)
 
 exception Runtime_error of string
 
-type arg = Buf of Tensor.t | Scalar_int of int | Scalar_float of float
+type arg = Compile.arg = Buf of Tensor.t | Scalar_int of int | Scalar_float of float
 
-type stats = {
+type stats = Compile.stats = {
   mutable steps : int;  (** executed statements *)
   mutable stores : int;
   mutable intrinsic_elems : int;  (** elements processed by intrinsics *)
@@ -44,3 +51,13 @@ val run_prefix :
   ?fuel:int -> Kernel.t -> stop_after:int -> (string * arg) list -> stats
 (** Execute only the first [stop_after] store operations, then halt cleanly.
     Used by bug localization's binary search over program points. *)
+
+val run_tree :
+  ?fuel:int ->
+  ?trace:(string -> int -> float -> unit) ->
+  Kernel.t ->
+  (string * arg) list ->
+  stats
+(** The tree-walking reference engine, same contract as {!run}. Kept as the
+    baseline for differential testing and for the evaluation-engine
+    benchmark; not memoized. *)

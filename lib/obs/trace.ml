@@ -1,13 +1,29 @@
-let active : Tracer.t option ref = ref None
+(* Domain-local so pooled worker domains never observe (or race on) the
+   master's tracer: a freshly spawned domain starts with no tracer. *)
+let active : Tracer.t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let install t = active := Some t
-let uninstall () = active := None
-let current () = !active
-let enabled () = Option.is_some !active
+let install t = Domain.DLS.set active (Some t)
+let uninstall () = Domain.DLS.set active None
+let current () = Domain.DLS.get active
+let enabled () = Option.is_some (Domain.DLS.get active)
+
+let without f =
+  match Domain.DLS.get active with
+  | None -> f ()
+  | Some t ->
+    Domain.DLS.set active None;
+    Fun.protect ~finally:(fun () -> Domain.DLS.set active (Some t)) f
 
 let span ?cat ?attrs name f =
-  match !active with None -> f () | Some t -> Tracer.with_span t ?cat ?attrs name f
+  match Domain.DLS.get active with
+  | None -> f ()
+  | Some t -> Tracer.with_span t ?cat ?attrs name f
 
-let count ?n name = match !active with None -> () | Some t -> Tracer.count t ?n name
-let observe name v = match !active with None -> () | Some t -> Tracer.observe t name v
-let instant ?attrs name = match !active with None -> () | Some t -> Tracer.instant t ?attrs name
+let count ?n name =
+  match Domain.DLS.get active with None -> () | Some t -> Tracer.count t ?n name
+
+let observe name v =
+  match Domain.DLS.get active with None -> () | Some t -> Tracer.observe t name v
+
+let instant ?attrs name =
+  match Domain.DLS.get active with None -> () | Some t -> Tracer.instant t ?attrs name

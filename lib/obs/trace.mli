@@ -7,12 +7,22 @@
     [Config.trace_level <> Off]; the bench harness installs one around a
     whole experiment to journal every case into one file.
 
-    Everything is single-threaded and deterministic, so a process-global
-    current tracer is sound here the same way it is for a logger. *)
+    The current tracer is *domain-local*: the pipeline is deterministic and
+    effectively single-threaded per domain, and worker domains spawned by
+    [Util.Pool] start with no tracer, so pooled tasks can never race on the
+    master's event stream. Pool users that must keep [jobs=1] and [jobs>1]
+    byte-identical wrap task bodies in {!without} and re-emit through the
+    pool's deferred-replay buffers instead. *)
 
 val install : Tracer.t -> unit
 val uninstall : unit -> unit
 val current : unit -> Tracer.t option
+
+val without : (unit -> 'a) -> 'a
+(** Runs the function with tracing suspended on this domain (restored on
+    exit, including by exception). Used around pooled task bodies so inline
+    ([jobs=1]) execution emits exactly what worker-domain execution does:
+    nothing ambient. *)
 
 val enabled : unit -> bool
 (** A tracer is installed (at any level). *)

@@ -15,6 +15,15 @@ val reference_outputs :
   Xpiler_util.Rng.t -> Opdef.t -> Opdef.shape -> (string * Interp.arg) list * (string * Tensor.t) list
 (** Inputs plus the outputs the serial reference produces on them. *)
 
+val reference_outputs_seeded :
+  seed:int -> Opdef.t -> Opdef.shape -> (string * Interp.arg) list * (string * Tensor.t) list
+(** Like {!reference_outputs} with [Rng.create seed], but the serial
+    reference run is cached per (op, shape, seed) — the checker replays the
+    same oracle for every candidate kernel. Returned buffers are private
+    copies; mutating them never corrupts the cache. A hit requires the same
+    [Opdef.t] value (physical identity), so regenerated fuzz ops that reuse
+    a name cannot collide. *)
+
 val check : ?trials:int -> ?seed:int -> Opdef.t -> Opdef.shape -> Kernel.t -> verdict
 (** Execute the candidate on [trials] fresh random input sets (default 2) and
     compare every output buffer to the reference. Runtime errors (out of

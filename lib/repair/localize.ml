@@ -67,8 +67,7 @@ let enumerate select (k : Kernel.t) =
 let tol_ok a b = Float.abs (a -. b) <= 1e-4 +. (1e-3 *. Float.abs b)
 
 let localize ?(seed = 20250706) ~op ~shape (kernel : Kernel.t) =
-  let rng = Rng.create seed in
-  let args, expected = Unit_test.reference_outputs rng op shape in
+  let args, expected = Unit_test.reference_outputs_seeded ~seed op shape in
   (* trace of output-buffer stores: our "print statements" probe *)
   let out_names = List.map fst expected in
   let store_counter = ref 0 in

@@ -1,6 +1,8 @@
 open Xpiler_machine
 module Pass = Xpiler_passes.Pass
 module Vclock = Xpiler_util.Vclock
+module Pool = Xpiler_util.Pool
+module Trace = Xpiler_obs.Trace
 
 type variant = { specs : Pass.spec list; kernel : Xpiler_ir.Kernel.t; throughput : float }
 
@@ -17,30 +19,94 @@ let candidates platform k =
   let pipelines = List.map (fun var -> [ Pass.Pipeline { var } ]) (Knobs.pipelinable_loops k) in
   [ [] ] @ splits @ reorders @ pipelines
 
-let tune ?clock ?(max_candidates = 64) ~platform k =
-  let charge s =
-    match clock with Some c -> Vclock.charge c Vclock.Auto_tuning s | None -> ()
+(* ---- checker/cost-model memo ------------------------------------------- *)
+
+(* The tuner revisits the same (platform, kernel) states constantly: MCTS
+   rollouts rediscover states the tree already expanded, and intra candidates
+   collide across rewards. Both functions are pure, so memoizing them is
+   invisible except in time — which also makes the tables safe to share
+   between pool workers (values are equal no matter who computes them). *)
+module PK = struct
+  type t = Platform.id * Xpiler_ir.Kernel.t
+
+  let equal (aid, ak) (bid, bk) = aid = bid && Xpiler_ir.Kernel.equal ak bk
+  let hash (id, k) = Xpiler_ir.Expr.hash_comb (Hashtbl.hash id) (Xpiler_ir.Kernel.hash k)
+end
+
+module PTbl = Hashtbl.Make (PK)
+
+(* generous: a full MCTS search touches a few thousand states, and a reset
+   mid-search turns every subsequent lookup into a recompute *)
+let memo_limit = 65536
+let memo_mutex = Mutex.create ()
+let compile_memo : bool PTbl.t = PTbl.create 256
+let throughput_memo : float PTbl.t = PTbl.create 256
+
+(* compute runs outside the lock: a concurrent duplicate costs time, never
+   correctness *)
+let memoized tbl compute key =
+  match Mutex.protect memo_mutex (fun () -> PTbl.find_opt tbl key) with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Mutex.protect memo_mutex (fun () ->
+        if PTbl.length tbl >= memo_limit then PTbl.reset tbl;
+        PTbl.replace tbl key v);
+    v
+
+let compiles platform k =
+  memoized compile_memo
+    (fun () -> Result.is_ok (Checker.compile platform k))
+    (platform.Platform.id, k)
+
+let modelled_throughput platform k =
+  memoized throughput_memo
+    (fun () -> Costmodel.throughput platform k ~shapes:[])
+    (platform.Platform.id, k)
+
+(* ---- the tuning loop ---------------------------------------------------- *)
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let tune ?clock ?charge ?(jobs = 1) ?(max_candidates = 64) ~platform k =
+  let charge_fn =
+    match charge with
+    | Some f -> f
+    | None -> (
+      match clock with
+      | Some c -> fun s -> Vclock.charge c Vclock.Auto_tuning s
+      | None -> fun _ -> ())
   in
-  let throughput kernel = Costmodel.throughput platform kernel ~shapes:[] in
-  let base = { specs = []; kernel = k; throughput = throughput k } in
-  let cands =
-    candidates platform k |> List.filteri (fun i _ -> i < max_candidates)
+  let base = { specs = []; kernel = k; throughput = modelled_throughput platform k } in
+  let cands = take max_candidates (candidates platform k) in
+  (* every candidate goes through the pool (inline when jobs=1): trace counts
+     and clock charges are deferred and replayed in candidate order, so the
+     observable stream is independent of the job count *)
+  let evaluated =
+    Pool.map ~jobs
+      (fun task specs ->
+        Trace.without (fun () ->
+            Pool.defer task (fun () ->
+                Trace.count "intra.variants";
+                charge_fn 10.0 (* one variant measured on the device *));
+            let applied =
+              List.fold_left
+                (fun acc spec -> Result.bind acc (Pass.apply ~platform spec))
+                (Ok k) specs
+            in
+            match applied with
+            | Error _ -> None
+            | Ok kernel ->
+              if compiles platform kernel then
+                Some { specs; kernel; throughput = modelled_throughput platform kernel }
+              else None))
+      cands
   in
   List.fold_left
-    (fun best specs ->
-      Xpiler_obs.Trace.count "intra.variants";
-      charge 10.0 (* one variant measured on the device *);
-      let applied =
-        List.fold_left
-          (fun acc spec -> Result.bind acc (Pass.apply ~platform spec))
-          (Ok k) specs
-      in
-      match applied with
-      | Error _ -> best
-      | Ok kernel -> (
-        match Checker.compile platform kernel with
-        | Error _ -> best
-        | Ok () ->
-          let t = throughput kernel in
-          if t > best.throughput then { specs; kernel; throughput = t } else best))
-    base cands
+    (fun best -> function
+      | Some v when v.throughput > best.throughput -> v
+      | _ -> best)
+    base evaluated

@@ -12,12 +12,30 @@ val candidates : Platform.t -> Kernel.t -> Pass.spec list list
     pipelining — each entry is a short spec sequence to try on top of the
     kernel. Includes the empty sequence (keep as is). *)
 
+val compiles : Platform.t -> Kernel.t -> bool
+(** Memoized [Checker.compile] success, keyed by the kernel's structural
+    hash per platform. The checker is pure, so the shared bounded table is
+    safe for concurrent tuner workers. *)
+
+val modelled_throughput : Platform.t -> Kernel.t -> float
+(** Memoized [Costmodel.throughput] with empty shape bindings (the tuner's
+    reward), same keying and sharing discipline as {!compiles}. *)
+
 val tune :
   ?clock:Xpiler_util.Vclock.t ->
+  ?charge:(float -> unit) ->
+  ?jobs:int ->
   ?max_candidates:int ->
   platform:Platform.t ->
   Kernel.t ->
   variant
 (** Apply every candidate (bounded by [max_candidates], default 64), keep the
     compilable variant with the highest modelled throughput; the input kernel
-    itself is always a candidate, so the result never regresses. *)
+    itself is always a candidate, so the result never regresses.
+
+    [charge] overrides the cost sink (default: charge [clock]'s
+    [Auto_tuning] stage) — the batched MCTS passes the pool's deferred
+    charge so worker batches never touch the master clock. [jobs] evaluates
+    candidates on a domain pool; results, trace counts and clock charges are
+    replayed in candidate order, so any job count produces the byte-identical
+    observable stream. *)

@@ -1,8 +1,8 @@
 open Xpiler_ir
-open Xpiler_machine
 module Pass = Xpiler_passes.Pass
 module Rng = Xpiler_util.Rng
 module Vclock = Xpiler_util.Vclock
+module Pool = Xpiler_util.Pool
 module Trace = Xpiler_obs.Trace
 
 type config = {
@@ -11,10 +11,12 @@ type config = {
   exploration : float;
   seed : int;
   intra_candidates : int;
+  root_parallel : int;
 }
 
 let default_config =
-  { max_depth = 13; simulations = 512; exploration = 1.2; seed = 7; intra_candidates = 12 }
+  { max_depth = 13; simulations = 512; exploration = 1.2; seed = 7;
+    intra_candidates = 12; root_parallel = 1 }
 
 type result = {
   best_kernel : Kernel.t;
@@ -25,63 +27,73 @@ type result = {
   simulations_run : int;
 }
 
+(* [rspecs] is the spec path from the root in reverse: children prepend, so
+   extension is O(1) instead of the quadratic [specs @ [spec]]. [untried] is
+   an array with live prefix [untried_n]; selection swap-removes in O(1). *)
 type node = {
   kernel : Kernel.t;
-  specs : Pass.spec list;  (** from root *)
+  rspecs : Pass.spec list;
   depth : int;
-  mutable untried : Pass.spec list;
+  untried : Pass.spec array;
+  mutable untried_n : int;
   mutable children : node list;
   mutable visits : int;
   mutable total : float;
 }
 
-let search ?(config = default_config) ?clock ?(buffer_sizes = []) ~platform kernel =
-  Trace.span ~cat:"phase"
-    ~attrs:
-      [ ("simulations", string_of_int config.simulations);
-        ("max_depth", string_of_int config.max_depth) ]
-    "mcts"
-  @@ fun () ->
-  let rng = Rng.create config.seed in
-  let charge s =
-    match clock with Some c -> Vclock.charge c Vclock.Auto_tuning s | None -> ()
-  in
+module KTbl = Hashtbl.Make (struct
+  type t = Kernel.t
+
+  let equal = Kernel.equal
+  let hash = Kernel.hash
+end)
+
+(* One independent search: own rng, own reward cache, cost sink abstracted
+   as [charge] so batched runs route charges through the pool's deferred
+   replay. Returns the result plus the rollout-step count (for deferred
+   trace aggregation). *)
+let search_one ~config ~sims ~seed ~charge ?(jobs = 1) ~buffer_sizes ~platform kernel =
+  let rng = Rng.create seed in
   let nodes = ref 0 in
+  let rollout_steps = ref 0 in
   let best = ref (kernel, [], 0.0) in
   (* reward = best intra-tuned throughput of the state; 0 for invalid states *)
-  let reward_cache : (string, float) Hashtbl.t = Hashtbl.create 128 in
-  let reward (k : Kernel.t) specs =
-    let key = Marshal.to_string k [] in
+  let reward_cache : float KTbl.t = KTbl.create 128 in
+  let reward (k : Kernel.t) rspecs =
     let r =
-      match Hashtbl.find_opt reward_cache key with
+      match KTbl.find_opt reward_cache k with
       | Some r -> r
       | None ->
         let r =
-          match Checker.compile platform k with
-          | Error _ -> 0.0
-          | Ok () ->
+          if not (Intra.compiles platform k) then 0.0
+          else begin
             charge 5.0;
-            let v = Intra.tune ?clock ~max_candidates:config.intra_candidates ~platform k in
+            let v =
+              Intra.tune ~charge ~jobs ~max_candidates:config.intra_candidates ~platform k
+            in
             v.Intra.throughput
+          end
         in
-        Hashtbl.replace reward_cache key r;
+        KTbl.replace reward_cache k r;
         r
     in
     Trace.observe "mcts.reward" r;
     let _, _, b = !best in
     if r > b then begin
-      best := (k, specs, r);
+      best := (k, rspecs, r);
       (* best-so-far trajectory: one sample per improvement *)
       Trace.observe "mcts.best_reward" r
     end;
     r
   in
   let actions k = Actions.enumerate ~buffer_sizes platform k in
-  let mk_node kernel specs depth =
+  let mk_node kernel rspecs depth =
     incr nodes;
     Trace.count "mcts.expansions";
-    { kernel; specs; depth;
-      untried = (if depth >= config.max_depth then [] else actions kernel);
+    let untried =
+      if depth >= config.max_depth then [||] else Array.of_list (actions kernel)
+    in
+    { kernel; rspecs; depth; untried; untried_n = Array.length untried;
       children = []; visits = 0; total = 0.0
     }
   in
@@ -95,9 +107,10 @@ let search ?(config = default_config) ?clock ?(buffer_sizes = []) ~platform kern
   in
   let apply k spec = Pass.apply ~platform spec k in
   (* random rollout from a state, returning the best reward encountered *)
-  let rec rollout k specs depth best_r =
+  let rec rollout k rspecs depth best_r =
     if depth >= config.max_depth then best_r
     else begin
+      incr rollout_steps;
       Trace.count "mcts.rollout_steps";
       match actions k with
       | [] -> best_r
@@ -106,33 +119,35 @@ let search ?(config = default_config) ?clock ?(buffer_sizes = []) ~platform kern
         match apply k spec with
         | Error _ -> best_r
         | Ok k' ->
-          let r = reward k' (specs @ [ spec ]) in
-          rollout k' (specs @ [ spec ]) (depth + 1) (Float.max best_r r))
+          let rspecs' = spec :: rspecs in
+          let r = reward k' rspecs' in
+          rollout k' rspecs' (depth + 1) (Float.max best_r r))
     end
   in
   let rec simulate node =
     let r =
-      if node.untried <> [] then begin
-        (* expansion *)
-        let i = Rng.int rng (List.length node.untried) in
-        let spec = List.nth node.untried i in
-        node.untried <- List.filteri (fun j _ -> j <> i) node.untried;
+      if node.untried_n > 0 then begin
+        (* expansion: O(1) swap-remove of a uniformly chosen untried action *)
+        let i = Rng.int rng node.untried_n in
+        let spec = node.untried.(i) in
+        node.untried.(i) <- node.untried.(node.untried_n - 1);
+        node.untried_n <- node.untried_n - 1;
         match apply node.kernel spec with
         | Error _ ->
           (* inapplicable action: learn its 0 reward *)
           0.0
         | Ok k' ->
-          let child = mk_node k' (node.specs @ [ spec ]) (node.depth + 1) in
+          let child = mk_node k' (spec :: node.rspecs) (node.depth + 1) in
           node.children <- child :: node.children;
-          let r0 = reward k' child.specs in
-          let r = rollout k' child.specs child.depth r0 in
+          let r0 = reward k' child.rspecs in
+          let r = rollout k' child.rspecs child.depth r0 in
           child.visits <- child.visits + 1;
           child.total <- child.total +. r;
           r
       end
       else begin
         match node.children with
-        | [] -> rollout node.kernel node.specs node.depth (reward node.kernel node.specs)
+        | [] -> rollout node.kernel node.rspecs node.depth (reward node.kernel node.rspecs)
         | children ->
           let chosen =
             List.fold_left
@@ -147,17 +162,86 @@ let search ?(config = default_config) ?clock ?(buffer_sizes = []) ~platform kern
     node.total <- node.total +. r;
     r
   in
-  let sims = ref 0 in
-  for _ = 1 to config.simulations do
-    incr sims;
+  let simulated = ref 0 in
+  for _ = 1 to sims do
+    incr simulated;
     Trace.count "mcts.simulations";
     ignore (simulate root)
   done;
   let bk, bs, br = !best in
-  { best_kernel = bk;
-    best_specs = bs;
-    best_reward = br;
-    root_reward;
-    nodes_expanded = !nodes;
-    simulations_run = !sims
-  }
+  ( { best_kernel = bk;
+      best_specs = List.rev bs;
+      best_reward = br;
+      root_reward;
+      nodes_expanded = !nodes;
+      simulations_run = !simulated
+    },
+    !rollout_steps )
+
+let search ?(config = default_config) ?clock ?(buffer_sizes = []) ?(jobs = 1) ~platform kernel =
+  Trace.span ~cat:"phase"
+    ~attrs:
+      [ ("simulations", string_of_int config.simulations);
+        ("max_depth", string_of_int config.max_depth) ]
+    "mcts"
+  @@ fun () ->
+  let b = max config.root_parallel 1 in
+  if b <= 1 then begin
+    let charge s =
+      match clock with Some c -> Vclock.charge c Vclock.Auto_tuning s | None -> ()
+    in
+    let result, _ =
+      search_one ~config ~sims:config.simulations ~seed:config.seed ~charge ~jobs
+        ~buffer_sizes ~platform kernel
+    in
+    result
+  end
+  else begin
+    (* root parallelism: [b] independent searches over distinct seeds, each
+       with a private reward cache, merged on the master domain. Simulations
+       split evenly (remainder to the early batches). Per-batch trace counts
+       and clock charges are buffered and replayed in batch order, so the
+       result and the observable stream do not depend on [jobs]. *)
+    let sims_of i = (config.simulations / b) + if i < config.simulations mod b then 1 else 0 in
+    let results =
+      Pool.map ~jobs ?clock
+        (fun task i ->
+          Trace.without (fun () ->
+              let res, steps =
+                search_one ~config ~sims:(sims_of i) ~seed:(config.seed + (7919 * i))
+                  ~charge:(fun s -> Pool.charge task Vclock.Auto_tuning s)
+                  ~jobs:1 ~buffer_sizes ~platform kernel
+              in
+              Pool.defer task (fun () ->
+                  Trace.count ~n:res.nodes_expanded "mcts.expansions";
+                  Trace.count ~n:res.simulations_run "mcts.simulations";
+                  Trace.count ~n:steps "mcts.rollout_steps";
+                  Trace.observe "mcts.reward" res.best_reward);
+              res))
+        (List.init b Fun.id)
+    in
+    match results with
+    | [] -> assert false
+    | r0 :: rest ->
+      let merged =
+        List.fold_left
+          (fun acc r ->
+            let acc =
+              { acc with
+                nodes_expanded = acc.nodes_expanded + r.nodes_expanded;
+                simulations_run = acc.simulations_run + r.simulations_run
+              }
+            in
+            (* strict > keeps the earliest batch on ties *)
+            if r.best_reward > acc.best_reward then
+              { acc with
+                best_kernel = r.best_kernel;
+                best_specs = r.best_specs;
+                best_reward = r.best_reward
+              }
+            else acc)
+          r0 rest
+      in
+      Trace.observe "mcts.best_reward" merged.best_reward;
+      merged
+  end

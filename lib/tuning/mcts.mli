@@ -9,7 +9,13 @@ module Pass = Xpiler_passes.Pass
     modelled throughput of the state's intra-pass tuning space (Equations
     3-4). UCT selection, random expansion, random rollout to the depth
     limit, reward backpropagation along the path. The paper's defaults are
-    depth N = 13 and 512 simulations. *)
+    depth N = 13 and 512 simulations.
+
+    Rewards are cached per search on the kernel's structural hash
+    ({!Kernel.hash}), and with [root_parallel > 1] the simulation budget is
+    split over that many independent searches (distinct seeds, private
+    reward caches) whose best result is kept — deterministically, whatever
+    the [jobs] count used to run them. *)
 
 type config = {
   max_depth : int;
@@ -17,6 +23,8 @@ type config = {
   exploration : float;
   seed : int;
   intra_candidates : int;  (** intra-pass variants measured per new state *)
+  root_parallel : int;
+      (** independent root-parallel search batches; 1 = classic single tree *)
 }
 
 val default_config : config
@@ -34,9 +42,16 @@ val search :
   ?config:config ->
   ?clock:Xpiler_util.Vclock.t ->
   ?buffer_sizes:(string * int) list ->
+  ?jobs:int ->
   platform:Platform.t ->
   Kernel.t ->
   result
 (** Only compilable states receive a positive reward, so the returned best
     kernel always passes the platform checker (it may equal the input when
-    nothing better is found). *)
+    nothing better is found).
+
+    [jobs] sizes the domain pool. With [root_parallel = 1] it parallelizes
+    intra-pass candidate evaluation inside each reward; with
+    [root_parallel > 1] it runs the search batches themselves in parallel.
+    Results, virtual-clock totals and trace summaries are identical for any
+    [jobs] value. *)

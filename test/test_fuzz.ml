@@ -109,6 +109,116 @@ let prop_analyzer_clean_executes =
         | _ -> true
         | exception Interp.Runtime_error _ -> false))
 
+(* differential property over the two evaluation engines: the closure
+   compiler and the tree-walker must agree on outputs (bit-for-bit), stats,
+   the scalar-store trace stream and runtime errors — on clean kernels, on
+   fault-injected ones, and under fuel exhaustion. [compare] rather than [=]
+   so NaN-producing kernels count as agreeing when both engines produce the
+   same NaN. *)
+let run_engine
+    (runner :
+      ?fuel:int ->
+      ?trace:(string -> int -> float -> unit) ->
+      Kernel.t ->
+      (string * Interp.arg) list ->
+      Interp.stats) ~fuel k args =
+  let trace = ref [] in
+  match runner ~fuel ~trace:(fun b i x -> trace := (b, i, x) :: !trace) k args with
+  | (s : Interp.stats) ->
+    Ok (s.steps, s.stores, s.intrinsic_elems, s.memcpy_elems, s.barriers, List.rev !trace)
+  | exception Interp.Runtime_error m -> Error m
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"compiled and tree engines agree" ~count:200 arb_seed
+    (fun seed ->
+      let k = kernel_of_seed seed in
+      let frng = Rng.create (seed + 17) in
+      let k =
+        match seed mod 3 with
+        | 0 -> k
+        | 1 -> (
+          match Xpiler_neural.Fault.inject_index frng k with
+          | Some (k', _) -> k'
+          | None -> k)
+        | _ -> (
+          match Xpiler_neural.Fault.inject_bound frng k with
+          | Some (k', _) -> k'
+          | None -> k)
+      in
+      (* a fifth of the corpus runs out of fuel: exhaustion must strike at
+         the same step with the same message in both engines *)
+      let fuel = if seed mod 5 = 0 then 100 else 200_000_000 in
+      let args = Tcommon.make_args (Rng.create (seed + 2)) ~buf_size k [] in
+      let a_tree = Tcommon.clone_args args in
+      let a_comp = Tcommon.clone_args args in
+      let r_tree = run_engine Interp.run_tree ~fuel k a_tree in
+      let r_comp = run_engine Interp.run ~fuel k a_comp in
+      compare r_tree r_comp = 0
+      && compare (Tcommon.buffers a_tree) (Tcommon.buffers a_comp) = 0)
+
+(* handcrafted dynamic errors: both engines must raise Runtime_error with the
+   exact same message *)
+let test_engine_error_parity () =
+  let open Expr.Infix in
+  let out = Builder.buffer "out" in
+  let mk name body = Kernel.make ~name ~params:[ out ] ~launch:[] body in
+  let cases =
+    [ ( "div0",
+        mk "div0"
+          [ Builder.for_ "i" (int 4)
+              [ Builder.let_ "x" (int 7 / (v "i" - v "i"));
+                Builder.store "out" (v "i") (v "x")
+              ]
+          ] );
+      ( "mod0",
+        mk "mod0" [ Builder.store "out" (int 0) (Expr.Cast (Dtype.F32, int 5 % int 0)) ] );
+      ("oob_store", mk "oob_store" [ Builder.store "out" (int 100_000) (flt 1.0) ]);
+      ( "oob_load",
+        mk "oob_load" [ Builder.store "out" (int 0) (load "out" (int (-1))) ] );
+      ( "neg_extent",
+        mk "neg_extent"
+          [ Builder.for_ "i" (int 0 - int 3) [ Builder.store "out" (v "i") (flt 0.0) ] ] )
+    ]
+  in
+  List.iter
+    (fun (name, k) ->
+      let args () = [ ("out", Interp.Buf (Tensor.create 1024)) ] in
+      let err runner = match run_engine runner ~fuel:1000 k (args ()) with
+        | Ok _ -> Alcotest.failf "%s: expected Runtime_error" name
+        | Error m -> m
+      in
+      Alcotest.(check string)
+        (name ^ ": same error") (err Interp.run_tree) (err Interp.run))
+    cases
+
+(* regression: a comparison over float operands is an integer-valued
+   expression with non-integer children — the closure compiler once
+   diverged (infinite dispatch loop) compiling it, and the random generator
+   never produces the shape *)
+let test_engine_float_compare () =
+  let k =
+    let open Expr.Infix in
+    Kernel.make ~name:"relu_mask"
+      ~params:[ Builder.buffer "a"; Builder.buffer "out" ]
+      ~launch:[]
+      [ Builder.for_ "i" (int 16)
+          [ Builder.store "out" (v "i")
+              (Expr.Select (load "a" (v "i") > flt 0.0, load "a" (v "i"), flt 0.0))
+          ]
+      ]
+  in
+  let args () =
+    [ ("a", Interp.Buf (Tensor.random (Rng.create 5) 16));
+      ("out", Interp.Buf (Tensor.create 16))
+    ]
+  in
+  let a_tree = args () and a_comp = args () in
+  let r_tree = run_engine Interp.run_tree ~fuel:10_000 k a_tree in
+  let r_comp = run_engine Interp.run ~fuel:10_000 k a_comp in
+  Alcotest.(check bool) "engines agree" true
+    (compare r_tree r_comp = 0
+    && compare (Tcommon.buffers a_tree) (Tcommon.buffers a_comp) = 0)
+
 (* detail-level fault injection + repair round trip: every repairable fault
    class the oracle injects is fixed by the repairer on these kernels *)
 let prop_inject_repair =
@@ -160,5 +270,8 @@ let () =
           (QCheck_alcotest.to_alcotest ~rand)
           [ prop_generator_sound; prop_roundtrip_vnni; prop_roundtrip_cuda;
             prop_roundtrip_bang; prop_pass_sequences_preserve; prop_intra_preserves;
-            prop_analyzer_clean_executes; prop_inject_repair ] )
+            prop_engines_agree; prop_analyzer_clean_executes; prop_inject_repair ] );
+      ( "engines",
+        [ Alcotest.test_case "error parity" `Quick test_engine_error_parity;
+          Alcotest.test_case "float comparison" `Quick test_engine_float_compare ] )
     ]

@@ -117,6 +117,73 @@ let test_mcts_budget_monotone_ish () =
   let r8 = run 8 and r64 = run 64 in
   Alcotest.(check bool) (Printf.sprintf "8 sims %.3g <= 64 sims %.3g" r8 r64) true (r8 <= r64)
 
+(* ---- jobs determinism ---------------------------------------------------
+   The pool contract promises byte-identical observable behaviour for any
+   job count. Assert it end-to-end on both pool call sites: intra-pass
+   candidate evaluation and MCTS root-parallel batches — results, clock
+   charge streams and trace counters all equal between jobs=1 and jobs=4,
+   with the domain clamp lifted so jobs=4 really crosses domains. *)
+
+module Vclock = Xpiler_util.Vclock
+module Pool = Xpiler_util.Pool
+module Trace = Xpiler_obs.Trace
+module Tracer = Xpiler_obs.Tracer
+
+let forcing_domains f =
+  let saved = Pool.get_max_domains () in
+  Pool.set_max_domains 4;
+  Fun.protect ~finally:(fun () -> Pool.set_max_domains saved) f
+
+let observed_run work =
+  let clock = Vclock.create () in
+  let charges = ref [] in
+  Vclock.set_observer clock (fun st s -> charges := (Vclock.stage_name st, s) :: !charges);
+  let tracer = Tracer.create ~level:Tracer.Detail () in
+  Trace.install tracer;
+  let v = Fun.protect ~finally:Trace.uninstall (fun () -> work clock) in
+  let counters =
+    List.map
+      (fun c -> (c, Tracer.counter_total tracer c))
+      [ "intra.variants"; "mcts.simulations"; "mcts.expansions"; "mcts.rollout_steps" ]
+  in
+  (v, List.rev !charges, counters, Vclock.elapsed clock)
+
+let test_intra_jobs_deterministic () =
+  forcing_domains @@ fun () ->
+  let run jobs =
+    observed_run (fun clock -> Intra.tune ~clock ~jobs ~platform:Platform.bang (serial ()))
+  in
+  let v1, c1, n1, e1 = run 1 in
+  let v4, c4, n4, e4 = run 4 in
+  Alcotest.(check bool) "same variant" true
+    (v1.Intra.specs = v4.Intra.specs
+    && Kernel.equal v1.Intra.kernel v4.Intra.kernel
+    && v1.Intra.throughput = v4.Intra.throughput);
+  Alcotest.(check (list (pair string (float 1e-9)))) "same charge stream" c1 c4;
+  Alcotest.(check (list (pair string int))) "same trace counters" n1 n4;
+  Alcotest.(check (float 1e-9)) "same clock" e1 e4
+
+let test_mcts_jobs_deterministic () =
+  forcing_domains @@ fun () ->
+  let config =
+    { Mcts.default_config with simulations = 24; max_depth = 6; root_parallel = 3 }
+  in
+  let run jobs =
+    observed_run (fun clock ->
+        Mcts.search ~config ~clock ~buffer_sizes ~jobs ~platform:Platform.bang (serial ()))
+  in
+  let r1, c1, n1, e1 = run 1 in
+  let r4, c4, n4, e4 = run 4 in
+  Alcotest.(check bool) "same result" true
+    (r1.Mcts.best_reward = r4.Mcts.best_reward
+    && r1.Mcts.best_specs = r4.Mcts.best_specs
+    && Kernel.equal r1.Mcts.best_kernel r4.Mcts.best_kernel
+    && r1.Mcts.simulations_run = r4.Mcts.simulations_run
+    && r1.Mcts.nodes_expanded = r4.Mcts.nodes_expanded);
+  Alcotest.(check (list (pair string (float 1e-9)))) "same charge stream" c1 c4;
+  Alcotest.(check (list (pair string int))) "same trace counters" n1 n4;
+  Alcotest.(check (float 1e-9)) "same clock" e1 e4
+
 let prop_mcts_best_is_valid =
   QCheck.Test.make ~name:"MCTS best kernel always compiles" ~count:6
     QCheck.(int_range 1 1000)
@@ -149,6 +216,10 @@ let () =
         [ Alcotest.test_case "improves gemm" `Quick test_mcts_improves_gemm;
           Alcotest.test_case "deterministic" `Quick test_mcts_deterministic;
           Alcotest.test_case "budget monotone" `Quick test_mcts_budget_monotone_ish
+        ] );
+      ( "jobs",
+        [ Alcotest.test_case "intra jobs=1 = jobs=4" `Quick test_intra_jobs_deterministic;
+          Alcotest.test_case "mcts jobs=1 = jobs=4" `Quick test_mcts_jobs_deterministic
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_mcts_best_is_valid ])
     ]

@@ -1,5 +1,6 @@
 module Rng = Xpiler_util.Rng
 module Vclock = Xpiler_util.Vclock
+module Pool = Xpiler_util.Pool
 
 let test_rng_deterministic () =
   let a = Rng.create 42 and b = Rng.create 42 in
@@ -123,6 +124,103 @@ let test_vclock_negative () =
   Alcotest.check_raises "negative" (Invalid_argument "Vclock.charge: negative duration")
     (fun () -> Vclock.charge c Vclock.Annotation (-1.0))
 
+(* ---- pool: the determinism contract ------------------------------------ *)
+
+(* the host may expose a single core, which would clamp jobs>1 to inline
+   execution; lift the cap so these tests exercise real worker domains *)
+let forcing_domains f =
+  let saved = Pool.get_max_domains () in
+  Pool.set_max_domains 4;
+  Fun.protect ~finally:(fun () -> Pool.set_max_domains saved) f
+
+let test_pool_order () =
+  forcing_domains @@ fun () ->
+  let inputs = List.init 23 Fun.id in
+  let f _ x = x * x in
+  let expect = List.map (fun x -> x * x) inputs in
+  Alcotest.(check (list int)) "jobs=1" expect (Pool.map ~jobs:1 f inputs);
+  Alcotest.(check (list int)) "jobs=4" expect (Pool.map ~jobs:4 f inputs)
+
+let test_pool_rng_schedule_independent () =
+  forcing_domains @@ fun () ->
+  let draw task _ = List.init 5 (fun _ -> Rng.int (Pool.rng task) 1_000_000) in
+  let a = Pool.map ~jobs:1 ~seed:11 draw (List.init 8 Fun.id) in
+  let b = Pool.map ~jobs:4 ~seed:11 draw (List.init 8 Fun.id) in
+  Alcotest.(check (list (list int))) "streams depend on (seed,index) only" a b;
+  let c = Pool.map ~jobs:4 ~seed:12 draw (List.init 8 Fun.id) in
+  Alcotest.(check bool) "seed matters" true (b <> c)
+
+let test_pool_replay_order () =
+  forcing_domains @@ fun () ->
+  let replayed jobs =
+    let log = ref [] in
+    let clock = Vclock.create () in
+    Vclock.set_observer clock (fun st s -> log := `C (Vclock.stage_name st, s) :: !log);
+    ignore
+      (Pool.map ~jobs ~clock
+         (fun task i ->
+           (* defer/charge interleave; replay must preserve per-task order
+              and input order across tasks, whatever the schedule *)
+           Pool.defer task (fun () -> log := `D (2 * i) :: !log);
+           Pool.charge task Vclock.Auto_tuning (float_of_int i);
+           Pool.defer task (fun () -> log := `D ((2 * i) + 1) :: !log);
+           i)
+         (List.init 9 Fun.id));
+    (List.rev !log, Vclock.elapsed clock)
+  in
+  let l1, e1 = replayed 1 in
+  let l4, e4 = replayed 4 in
+  Alcotest.(check bool) "same event stream" true (l1 = l4);
+  Alcotest.(check (float 1e-9)) "same clock" e1 e4;
+  (* spot-check the canonical order for task 0 and 1 *)
+  let prefix = [ `D 0; `C ("auto-tuning", 0.0); `D 1; `D 2; `C ("auto-tuning", 1.0); `D 3 ] in
+  let rec take n = function x :: tl when n > 0 -> x :: take (n - 1) tl | _ -> [] in
+  Alcotest.(check bool) "input-order replay" true (take 6 l1 = prefix)
+
+exception Boom of int
+
+let test_pool_first_error_by_index () =
+  forcing_domains @@ fun () ->
+  List.iter
+    (fun jobs ->
+      let effects = ref [] in
+      (try
+         ignore
+           (Pool.map ~jobs
+              (fun task i ->
+                Pool.defer task (fun () -> effects := i :: !effects);
+                if i = 1 || i = 3 then raise (Boom i))
+              (List.init 6 Fun.id))
+       with Boom n ->
+         Alcotest.(check int) (Printf.sprintf "jobs=%d: earliest error wins" jobs) 1 n);
+      (* effects up to and including the failing task replay; later ones drop *)
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d: effect prefix" jobs)
+        [ 0; 1 ] (List.rev !effects))
+    [ 1; 4 ]
+
+let test_pool_nested_inline () =
+  forcing_domains @@ fun () ->
+  let r =
+    Pool.map ~jobs:4
+      (fun _ i ->
+        (* nested maps run inline on the worker; results are unaffected *)
+        List.fold_left ( + ) 0 (Pool.map ~jobs:4 (fun _ j -> i * j) [ 1; 2; 3 ]))
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list int)) "nested results" [ 6; 12; 18; 24 ] r
+
+let test_pool_jobs_clamp () =
+  (* with the cap at 1, jobs=8 must degrade to inline and still work *)
+  let saved = Pool.get_max_domains () in
+  Pool.set_max_domains 1;
+  Fun.protect
+    ~finally:(fun () -> Pool.set_max_domains saved)
+    (fun () ->
+      Alcotest.(check (list int))
+        "clamped map" [ 2; 4; 6 ]
+        (Pool.map ~jobs:8 (fun _ x -> 2 * x) [ 1; 2; 3 ]))
+
 let prop_bernoulli_frequency =
   QCheck.Test.make ~name:"bernoulli frequency tracks p" ~count:20
     QCheck.(float_range 0.1 0.9)
@@ -153,6 +251,15 @@ let () =
             test_vclock_breakdown_omits_zero;
           Alcotest.test_case "observer" `Quick test_vclock_observer;
           Alcotest.test_case "negative rejected" `Quick test_vclock_negative
+        ] );
+      ( "pool",
+        [ Alcotest.test_case "input-order results" `Quick test_pool_order;
+          Alcotest.test_case "rng schedule-independent" `Quick
+            test_pool_rng_schedule_independent;
+          Alcotest.test_case "deterministic replay" `Quick test_pool_replay_order;
+          Alcotest.test_case "first error by index" `Quick test_pool_first_error_by_index;
+          Alcotest.test_case "nested maps inline" `Quick test_pool_nested_inline;
+          Alcotest.test_case "domain clamp" `Quick test_pool_jobs_clamp
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_bernoulli_frequency ])
     ]
