@@ -1,0 +1,199 @@
+(* Auto-tuner search-efficiency benchmark: the pre-PR brute-force search
+   (no pruning, no composed candidates, no transposition sharing, no warm
+   start) vs the overhauled one, on the same seeds. Writes
+   BENCH_tuning.json (schema xpiler-tuning-bench/v1) into the current
+   directory.
+
+   Usage:
+     dune exec bench/tuning_bench.exe            # full measurement
+     dune exec bench/tuning_bench.exe -- --smoke # seconds-long sanity run
+
+   The smoke run is attached to `dune runtest` via the @bench-smoke alias;
+   its correctness gates always run: bound-based pruning must be lossless
+   (pruned and exhaustive intra tuning find the same best throughput) and
+   the overhauled search's best reward must never be worse than the
+   baseline's on any benchmarked kernel.
+
+   The headline metric is *reward evaluations* — actual Intra.tune runs,
+   metered by Transposition.evals — needed to reach the baseline's final
+   best reward. Search is deterministic, so the curves are reproducible. *)
+
+open Xpiler_machine
+open Xpiler_ops
+open Xpiler_tuning
+module Listx = Xpiler_util.Listx
+
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+let now = Unix.gettimeofday
+
+(* matmul (the paper's headline tuning target), convolution and a reduction *)
+let bench_ops = [ "gemm"; "conv2d_nhwc"; "softmax" ]
+let budgets = if smoke then [ 2; 4; 8 ] else [ 4; 8; 16; 32; 64 ]
+let platform = Platform.bang
+
+let base_config budget =
+  { Mcts.default_config with
+    simulations = budget;
+    max_depth = 6;
+    intra_candidates = 12;
+    root_parallel = 4
+  }
+
+type point = { sims : int; evals : int; best : float; wall : float }
+
+let run_search ~mode_config ~share ~db ~buffer_sizes kernel budget =
+  Transposition.clear ();
+  let t0 = now () in
+  let r =
+    Mcts.search ~config:(mode_config budget) ~buffer_sizes ~share ?db ~platform kernel
+  in
+  { sims = budget; evals = Transposition.evals (); best = r.Mcts.best_reward;
+    wall = now () -. t0 }
+
+(* first curve point whose reward reaches [target]; None when the curve
+   never gets there *)
+let evals_to curve target =
+  List.find_opt (fun p -> p.best >= target) curve |> Option.map (fun p -> p.evals)
+
+type row = {
+  op_name : string;
+  baseline : point list;
+  tuned : point list;
+  target : float;
+  base_evals : int;
+  tuned_evals : int option;
+  prune_stats : Intra.stats;
+  prune_lossless : bool;
+  tuned_best : float;
+}
+
+let bench_op name =
+  let op = Registry.find_exn name in
+  let shapes = op.Opdef.shapes in
+  let shape_a = List.hd shapes in
+  (* warm-start priming uses a *different* shape of the same operator when
+     the registry has one: the schedule database keys on structure, so the
+     recorded specs must transfer across shapes to be useful *)
+  let shape_b = match shapes with _ :: s :: _ -> s | _ -> shape_a in
+  let kernel = op.Opdef.serial shape_a in
+  let kernel_b = op.Opdef.serial shape_b in
+  let buffer_sizes =
+    List.map (fun (b : Opdef.buffer_spec) -> (b.buf_name, b.size shape_a)) op.Opdef.buffers
+  in
+  (* intra-level pruning: lossless by construction, counted for the report *)
+  let exhaustive, _ =
+    Intra.tune_with_stats ~prune:false ~compose:true ~max_candidates:64 ~platform kernel
+  in
+  let pruned_v, prune_stats =
+    Intra.tune_with_stats ~prune:true ~compose:true ~max_candidates:64 ~platform kernel
+  in
+  let prune_lossless = pruned_v.Intra.throughput = exhaustive.Intra.throughput in
+  if not prune_lossless then begin
+    Printf.eprintf "pruning changed the intra result on %s: %.6g vs %.6g\n" name
+      pruned_v.Intra.throughput exhaustive.Intra.throughput;
+    exit 1
+  end;
+  (* warm both checker/cost-model memos so baseline and tuned wall-clocks
+     see comparable cache state *)
+  ignore
+    (Mcts.search
+       ~config:{ (base_config (List.hd (List.rev budgets))) with prune = false; compose = false }
+       ~buffer_sizes ~share:false ~platform kernel);
+  (* pre-PR baseline: exhaustive intra, private reward caches, cold start *)
+  let baseline_config budget = { (base_config budget) with Mcts.prune = false; compose = false } in
+  let baseline =
+    List.map
+      (fun b -> run_search ~mode_config:baseline_config ~share:false ~db:None ~buffer_sizes kernel b)
+      budgets
+  in
+  let target = (List.hd (List.rev baseline)).best in
+  (* overhauled search: prune + compose + shared table + warm start. The
+     priming search stands for the *previous* translation of a similar
+     kernel (same operator, different shape); its cost is that translation's,
+     not this one's, so each measured budget starts from a freshly primed
+     database rather than compounding its own results. *)
+  let prime =
+    let db = Schedule_db.create () in
+    ignore
+      (Mcts.search ~config:(base_config (List.hd (List.rev budgets))) ~buffer_sizes
+         ~share:true ~db ~platform kernel_b);
+    Schedule_db.lookup db platform.Platform.id kernel
+  in
+  let tuned =
+    List.map
+      (fun b ->
+        let db = Schedule_db.create () in
+        (match prime with
+        | Some specs ->
+          Schedule_db.record db platform.Platform.id kernel ~specs ~reward:1.0
+        | None -> ());
+        run_search ~mode_config:base_config ~share:true ~db:(Some db) ~buffer_sizes kernel b)
+      budgets
+  in
+  (* never-worse gate over the whole sweep: every tuned point is an
+     independent run at a budget no larger than the baseline's largest *)
+  let tuned_best = List.fold_left (fun acc p -> Float.max acc p.best) 0.0 tuned in
+  if tuned_best < target then
+    Printf.eprintf "FAIL: search overhaul lost reward on %s: %.6g < %.6g\n" name
+      tuned_best target;
+  let base_evals =
+    match evals_to baseline target with Some e -> e | None -> assert false
+  in
+  let tuned_evals = evals_to tuned target in
+  Printf.printf
+    "%-12s target %.4g | baseline %4d evals | tuned %s evals | intra pruned %d/%d\n%!"
+    name target base_evals
+    (match tuned_evals with Some e -> Printf.sprintf "%4d" e | None -> "  na")
+    prune_stats.Intra.pruned
+    (prune_stats.Intra.evaluated + prune_stats.Intra.pruned);
+  { op_name = name; baseline; tuned; target; base_evals; tuned_evals; prune_stats;
+    prune_lossless; tuned_best }
+
+let json_curve oc points =
+  List.iteri
+    (fun i p ->
+      Printf.fprintf oc
+        "        {\"simulations\": %d, \"evals\": %d, \"best_reward\": %.6e, \"wall_sec\": %.4f}%s\n"
+        p.sims p.evals p.best p.wall
+        (if i = List.length points - 1 then "" else ","))
+    points
+
+let () =
+  Printf.printf "auto-tuner search-efficiency benchmark%s\n%!" (if smoke then " (smoke)" else "");
+  let rows = List.map bench_op bench_ops in
+  let oc = open_out "BENCH_tuning.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"xpiler-tuning-bench/v1\",\n  \"smoke\": %b,\n" smoke;
+  Printf.fprintf oc "  \"budgets\": [%s],\n"
+    (String.concat ", " (List.map string_of_int budgets));
+  Printf.fprintf oc "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      let reduction =
+        match r.tuned_evals with
+        | Some e -> 1.0 -. (float_of_int e /. float_of_int r.base_evals)
+        | None -> 0.0
+      in
+      Printf.fprintf oc "    {\"op\": %S,\n" r.op_name;
+      Printf.fprintf oc "      \"target_reward\": %.6e,\n" r.target;
+      Printf.fprintf oc "      \"baseline\": [\n";
+      json_curve oc r.baseline;
+      Printf.fprintf oc "      ],\n      \"tuned\": [\n";
+      json_curve oc r.tuned;
+      Printf.fprintf oc "      ],\n";
+      Printf.fprintf oc "      \"baseline_evals_to_target\": %d,\n" r.base_evals;
+      (match r.tuned_evals with
+      | Some e -> Printf.fprintf oc "      \"tuned_evals_to_target\": %d,\n" e
+      | None -> Printf.fprintf oc "      \"tuned_evals_to_target\": null,\n");
+      Printf.fprintf oc "      \"eval_reduction\": %.3f,\n" reduction;
+      Printf.fprintf oc "      \"best_reward_ratio\": %.4f,\n" (r.tuned_best /. r.target);
+      Printf.fprintf oc
+        "      \"intra_pruning\": {\"evaluated\": %d, \"pruned\": %d, \"lossless\": %b}}%s\n"
+        r.prune_stats.Intra.evaluated r.prune_stats.Intra.pruned r.prune_lossless
+        (if i = List.length rows - 1 then "" else ",")
+      )
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_tuning.json\n%!";
+  if List.exists (fun r -> r.tuned_best < r.target || not r.prune_lossless) rows then
+    exit 1

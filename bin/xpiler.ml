@@ -44,6 +44,21 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let no_prune_arg =
+  let doc =
+    "Disable bound-based pruning of intra-pass tuning candidates. Pruning is lossless \
+     (the chosen schedule never changes, only modelled tuning time); the flag exists for \
+     A/B measurement."
+  in
+  Arg.(value & flag & info [ "no-tune-prune" ] ~doc)
+
+let no_warm_start_arg =
+  let doc =
+    "Disable warm-starting MCTS from the in-process schedule database (recorded best \
+     schedules of previously tuned, structurally similar kernels)."
+  in
+  Arg.(value & flag & info [ "no-warm-start" ] ~doc)
+
 let trace_arg =
   let doc =
     "Write a JSONL trace journal of the translation to $(docv) (replay it with `xpiler \
@@ -81,13 +96,19 @@ let find_op name =
 
 (* ---- translate ------------------------------------------------------------ *)
 
-let translate op_name shape src dst tune seed jobs trace trace_level =
+let translate op_name shape src dst tune seed jobs no_prune no_warm_start trace trace_level =
   let op = find_op op_name in
   let shape = parse_shape op shape in
   let config =
     let base = if tune then Config.tuned else Config.default in
     let base = Config.with_seed base seed in
     let base = Config.with_jobs base jobs in
+    let base =
+      { base with
+        Config.tuning_prune = not no_prune;
+        tuning_warm_start = not no_warm_start
+      }
+    in
     match trace with
     | Some sink -> Config.with_trace ~sink base trace_level
     | None -> base
@@ -118,7 +139,7 @@ let translate_cmd =
   Cmd.v info
     Term.(
       const translate $ op_arg $ shape_arg $ src_arg $ dst_arg $ tune_arg $ seed_arg
-      $ jobs_arg $ trace_arg $ trace_level_arg)
+      $ jobs_arg $ no_prune_arg $ no_warm_start_arg $ trace_arg $ trace_level_arg)
 
 (* ---- show-source ----------------------------------------------------------- *)
 

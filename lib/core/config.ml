@@ -7,6 +7,8 @@ type t = {
   static_analysis : bool;
   tune : bool;
   mcts : Xpiler_tuning.Mcts.config;
+  tuning_prune : bool;
+  tuning_warm_start : bool;
   unit_test_trials : int;
   jobs : int;
   trace_level : Xpiler_obs.Tracer.level;
@@ -22,6 +24,8 @@ let default =
     static_analysis = true;
     tune = false;
     mcts = { Xpiler_tuning.Mcts.default_config with simulations = 48; max_depth = 6 };
+    tuning_prune = true;
+    tuning_warm_start = true;
     unit_test_trials = 2;
     jobs = 1;
     trace_level = Xpiler_obs.Tracer.Off;

@@ -9,6 +9,13 @@ type t = {
   static_analysis : bool;  (** IR-level static pre-validation before unit tests *)
   tune : bool;  (** hierarchical auto-tuning for performance *)
   mcts : Xpiler_tuning.Mcts.config;
+  tuning_prune : bool;
+      (** bound-based pruning of intra-pass candidates (lossless; changes
+          modelled tuning time, never the chosen schedule) *)
+  tuning_warm_start : bool;
+      (** warm-start MCTS from the process-global schedule database, so
+          repeated translations of similar kernels converge in fewer
+          simulations *)
   unit_test_trials : int;
   jobs : int;
       (** domain-pool width for auto-tuning; results are identical for any

@@ -306,9 +306,16 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
     (* hierarchical auto-tuning on accepted translations *)
     let k, throughput =
       if status = Success && config.Config.tune then begin
+        let mcts_config =
+          { config.Config.mcts with Xpiler_tuning.Mcts.prune = config.Config.tuning_prune }
+        in
+        let db =
+          if config.Config.tuning_warm_start then Some Xpiler_tuning.Schedule_db.default
+          else None
+        in
         let result =
-          Xpiler_tuning.Mcts.search ~config:config.Config.mcts ~clock ~buffer_sizes
-            ~jobs:config.Config.jobs ~platform:target k
+          Xpiler_tuning.Mcts.search ~config:mcts_config ~clock ~buffer_sizes
+            ~jobs:config.Config.jobs ?db ~platform:target k
         in
         let tuned = result.Xpiler_tuning.Mcts.best_kernel in
         if unit_ok tuned then (tuned, Some result.Xpiler_tuning.Mcts.best_reward)

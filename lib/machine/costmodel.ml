@@ -206,3 +206,125 @@ let throughput p k ~shapes =
      the schedule with overhead work. *)
   let e = estimate p k ~shapes in
   1e9 /. e.seconds
+
+(* ---- cheap admissible bound --------------------------------------------
+
+   [throughput_bound] is a branch-and-bound pruning oracle: an upper bound
+   on [throughput] computed by a structural walk that skips every
+   per-expression fold ([flop_count] and [load_bytes] — the dominant cost of
+   [extract_features]). Soundness argument, term by term against [estimate]:
+
+   - blocks / threads / pipelined / launches are structural and computed
+     identically, so the rates and occupancy match exactly;
+   - scalar flops are under-counted (loop overhead and syncs only — no
+     expression arithmetic), vector/tensor work is counted exactly, so
+     [compute' <= compute];
+   - traffic is under-counted (stores, memcpys and intrinsic streaming only
+     — no loads), with the same scope attribution, so [memory' <= memory];
+   - the body time is lower-bounded by [max compute' memory']: the
+     unpipelined body is [compute + memory >= max], and the pipelined body
+     is [max + 0.15 * min >= max].
+
+   Hence [bound_seconds <= seconds] and the returned throughput is [>=] the
+   true modelled throughput on every kernel (fuzzed in test_tuning.ml).
+   Emits no trace events: pruning decisions replay from transposition
+   receipts, so the bound must be observably silent. *)
+let throughput_bound (p : Platform.t) (k : Kernel.t) ~shapes =
+  let acc =
+    { f_scalar = 0.0; f_vector = 0.0; f_tensor = 0.0; b_off = 0.0; b_on = 0.0;
+      blocks = 1; threads = 1; pipelined = false }
+  in
+  let buf_info = Hashtbl.create 16 in
+  List.iter
+    (fun (prm : Kernel.param) ->
+      if prm.is_buffer then Hashtbl.replace buf_info prm.name (Scope.Global, prm.dtype))
+    k.Kernel.params;
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Alloc r -> Hashtbl.replace buf_info r.buf (r.scope, r.dtype)
+      | _ -> ())
+    k.Kernel.body;
+  let scope_of b = Hashtbl.find_opt buf_info b in
+  let env = Hashtbl.create 16 in
+  List.iter (fun (n, v) -> Hashtbl.replace env n v) shapes;
+  let eval_opt e =
+    try Some (Expr.eval_int (fun x -> Hashtbl.find env x) e) with _ -> None
+  in
+  let extent_of e = match eval_opt e with Some n -> max n 0 | None -> 8 in
+  let byte_size b =
+    match scope_of b with Some (_, dt) -> float_of_int (Dtype.size_in_bytes dt) | None -> 4.0
+  in
+  let charge_bytes trips buf =
+    let total = trips *. byte_size buf in
+    match scope_of buf with
+    | Some (s, _) when not (is_offchip s) -> acc.b_on <- acc.b_on +. total
+    | Some _ -> acc.b_off <- acc.b_off +. total
+    | None -> acc.b_off <- acc.b_off +. total
+  in
+  let rec walk trips block =
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Stmt.For r ->
+          let n = extent_of r.extent in
+          (match r.kind with
+          | Stmt.Parallel (Axis.Block_x | Axis.Block_y | Axis.Block_z | Axis.Task_id | Axis.Cluster_id) ->
+            acc.blocks <- acc.blocks * max n 1
+          | Stmt.Parallel (Axis.Thread_x | Axis.Thread_y | Axis.Thread_z | Axis.Core_id) ->
+            acc.threads <- acc.threads * max n 1
+          | Stmt.Pipelined -> acc.pipelined <- true
+          | Stmt.Serial | Stmt.Unrolled | Stmt.Vectorized -> ());
+          acc.f_scalar <- acc.f_scalar +. (trips *. float_of_int n *. 0.25);
+          walk (trips *. float_of_int n) r.body
+        | Stmt.Let _ | Stmt.Assign _ -> ()
+        | Stmt.Store r -> charge_bytes trips r.buf
+        | Stmt.If r ->
+          walk trips r.then_;
+          walk (trips *. 0.25) r.else_
+        | Stmt.Memcpy r ->
+          let n = float_of_int (extent_of r.len) in
+          charge_bytes (trips *. n) r.dst.buf;
+          charge_bytes (trips *. n) r.src.buf
+        | Stmt.Intrinsic i ->
+          let p n = match List.nth_opt i.params n with Some e -> float_of_int (extent_of e) | None -> 1.0 in
+          (match i.op with
+          | Intrin.Mma | Intrin.Mlp -> acc.f_tensor <- acc.f_tensor +. (trips *. p 0 *. p 1 *. p 2)
+          | Intrin.Conv2d ->
+            acc.f_tensor <- acc.f_tensor +. (trips *. p 0 *. p 1 *. p 2 *. p 3 *. p 4 *. p 5)
+          | Intrin.Dp4a -> acc.f_tensor <- acc.f_tensor +. (trips *. p 0)
+          | _ -> acc.f_vector <- acc.f_vector +. (trips *. p 0));
+          acc.b_on <- acc.b_on +. (trips *. p 0 *. 4.0)
+        | Stmt.Sync -> acc.f_scalar <- acc.f_scalar +. (trips *. 2.0)
+        | Stmt.Alloc _ | Stmt.Annot _ -> ())
+      block
+  in
+  walk 1.0 k.Kernel.body;
+  let c = p.Platform.cost in
+  let clock = c.clock_ghz *. 1e9 in
+  let blocks = max acc.blocks 1 and threads = max acc.threads 1 in
+  let cores_used, occupancy =
+    match p.Platform.id with
+    | Platform.Cuda | Platform.Hip ->
+      let cores = min c.num_cores blocks in
+      let occ = Float.min 1.0 (float_of_int threads /. 256.0) in
+      (float_of_int cores, Float.max occ 0.03125)
+    | Platform.Bang -> (float_of_int (min c.num_cores (blocks * threads)), 1.0)
+    | Platform.Vnni ->
+      ignore threads;
+      (float_of_int c.num_cores, 1.0)
+  in
+  let scalar_rate = cores_used *. c.scalar_flops_per_cycle *. occupancy *. clock in
+  let vector_rate = cores_used *. float_of_int c.vector_lanes *. clock in
+  let tensor_rate = cores_used *. c.tensor_macs_per_cycle *. clock in
+  let compute =
+    (acc.f_scalar /. scalar_rate) +. (acc.f_vector /. vector_rate)
+    +. (acc.f_tensor /. tensor_rate)
+  in
+  let memory =
+    (acc.b_off /. (c.dram_gbps *. 1e9)) +. (acc.b_on /. (c.onchip_gbps *. 1e9))
+  in
+  let bound_seconds =
+    Float.max compute memory +. (c.launch_overhead_us *. 1e-6)
+  in
+  if bound_seconds <= 0.0 then infinity else 1e9 /. bound_seconds

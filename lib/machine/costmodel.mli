@@ -42,3 +42,11 @@ val estimate : Platform.t -> Kernel.t -> shapes:(string * int) list -> estimate
 val throughput : Platform.t -> Kernel.t -> shapes:(string * int) list -> float
 (** The auto-tuner's reward (Equations 3-4 of the paper): inverse modelled
     execution time, scaled to an ops/s-like magnitude. *)
+
+val throughput_bound : Platform.t -> Kernel.t -> shapes:(string * int) list -> float
+(** Cheap admissible upper bound on {!throughput}: a structural walk that
+    skips the per-expression flop and load-traffic folds (the dominant cost
+    of {!extract_features}), under-counting work with the same rates and
+    occupancy. Guaranteed [throughput_bound p k >= throughput p k] on every
+    kernel (fuzzed), which makes branch-and-bound pruning on it lossless.
+    Emits no trace events, so pruning stays observably silent. *)

@@ -3,7 +3,7 @@ open Xpiler_machine
 module Pass = Xpiler_passes.Pass
 module Memory_pass = Xpiler_passes.Memory_pass
 
-let take n xs = List.filteri (fun i _ -> i < n) xs
+let take = Xpiler_util.Listx.take
 
 let pick_factors factors =
   (* bound branching: smallest, middle, largest *)

@@ -11,11 +11,32 @@ module Pass = Xpiler_passes.Pass
     limit, reward backpropagation along the path. The paper's defaults are
     depth N = 13 and 512 simulations.
 
-    Rewards are cached per search on the kernel's structural hash
-    ({!Kernel.hash}), and with [root_parallel > 1] the simulation budget is
-    split over that many independent searches (distinct seeds, private
-    reward caches) whose best result is kept — deterministically, whatever
-    the [jobs] count used to run them. *)
+    Search-efficiency mechanisms (each independently switchable):
+
+    - {b Transposition sharing} ([share], default on): rewards are served
+      from the process-global {!Transposition} table, shared across
+      root-parallel batches and successive searches, on top of a per-search
+      first-touch table. Rewards are pure, so sharing changes wall-clock
+      only; observable charges/trace counts replay from per-entry receipts,
+      so they depend on the search trajectory alone — [jobs] determinism is
+      preserved bit-for-bit.
+    - {b Bound-based pruning and composed candidates}
+      ([config.prune]/[config.compose], default on): forwarded to
+      {!Intra.tune_with_stats} for every reward evaluation.
+    - {b Warm start} ([db]): when a {!Schedule_db} holds a best-spec
+      sequence for the kernel's signature (same operator structure and
+      platform, any shape), a dedicated extra search batch replays the
+      prefix as a guaranteed-expanded first trajectory and then refines
+      around it. The base batches never see the prefix, so a database hit
+      can only improve the merged result over the cold search — it never
+      redirects it (warm-start is monotone by construction). The search
+      result is recorded back for the next similar translation; replayed
+      steps are traced as [mcts.warm_steps].
+
+    With [root_parallel > 1] the simulation budget is split over that many
+    independent searches (distinct seeds, private first-touch tables) whose
+    best result is kept — deterministically, whatever the [jobs] count used
+    to run them. *)
 
 type config = {
   max_depth : int;
@@ -25,6 +46,8 @@ type config = {
   intra_candidates : int;  (** intra-pass variants measured per new state *)
   root_parallel : int;
       (** independent root-parallel search batches; 1 = classic single tree *)
+  prune : bool;  (** bound-based pruning inside intra-pass tuning *)
+  compose : bool;  (** depth-2 composed intra candidates *)
 }
 
 val default_config : config
@@ -43,6 +66,8 @@ val search :
   ?clock:Xpiler_util.Vclock.t ->
   ?buffer_sizes:(string * int) list ->
   ?jobs:int ->
+  ?share:bool ->
+  ?db:Schedule_db.t ->
   platform:Platform.t ->
   Kernel.t ->
   result
@@ -51,7 +76,8 @@ val search :
     nothing better is found).
 
     [jobs] sizes the domain pool. With [root_parallel = 1] it parallelizes
-    intra-pass candidate evaluation inside each reward; with
+    intra-pass candidate evaluation inside each reward (only when
+    [config.prune] is off — the pruned scan is sequential); with
     [root_parallel > 1] it runs the search batches themselves in parallel.
     Results, virtual-clock totals and trace summaries are identical for any
-    [jobs] value. *)
+    [jobs] value, including with [share] on and a warm-start [db]. *)

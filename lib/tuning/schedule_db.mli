@@ -1,0 +1,43 @@
+open Xpiler_ir
+open Xpiler_machine
+module Pass = Xpiler_passes.Pass
+
+(** In-memory schedule database for warm-started MCTS.
+
+    Records the best spec sequence found by prior searches, keyed by a
+    kernel {!signature} — operator structure plus platform, with every
+    integer literal (loop extents, indices, allocation and launch sizes)
+    wildcarded, so the same operator at different shapes shares one entry.
+    {!Mcts.search} consults it to replay the recorded prefix as a
+    guaranteed-expanded first trajectory, which makes repeated or batch
+    translations of similar kernels converge in far fewer simulations.
+
+    Conflicts resolve most-recent-wins: rewards are not comparable across
+    shapes, so the last completed search owns the entry. All operations are
+    mutex-protected; lookups happen once per search on the master domain, so
+    the database never perturbs the deterministic [--jobs] replay. *)
+
+type entry = { specs : Pass.spec list; reward : float }
+type t
+
+val create : unit -> t
+
+val default : t
+(** The process-global database used by [Core.Xpiler] when
+    [Config.tuning_warm_start] is on. Tests and benches should {!create}
+    private instances (or {!clear} this one) for isolation. *)
+
+val signature : Platform.id -> Kernel.t -> int
+(** Structural hash invariant under integer-literal changes: the same
+    operator at two shapes collides (by design); different operators or
+    platforms do not (modulo hashing). *)
+
+val lookup : t -> Platform.id -> Kernel.t -> Pass.spec list option
+(** The recorded best spec sequence for the kernel's signature, if any. *)
+
+val record : t -> Platform.id -> Kernel.t -> specs:Pass.spec list -> reward:float -> unit
+(** Save a search result. Empty spec lists and zero rewards are not
+    recorded (nothing to replay). *)
+
+val size : t -> int
+val clear : t -> unit

@@ -1,0 +1,118 @@
+(* Shared transposition table for the hierarchical auto-tuner.
+
+   MCTS root-parallel batches and repeated searches keep rediscovering the
+   same (platform, kernel) states; the reward of a state — its best
+   intra-tuned throughput — is pure, so one table can serve every searcher.
+   Sharing therefore changes *time*, never values. The observable stream
+   (virtual-clock charges, trace counters) must additionally not depend on
+   who filled the table first, so entries carry a *receipt*: the canonical
+   effect counts the original evaluation emitted. A hit replays the receipt,
+   a miss evaluates and then emits the same receipt — the emitted stream is
+   a function of the search trajectory alone, which is what preserves the
+   byte-identical [--jobs] determinism guarantee.
+
+   The reward depends on the intra-tuning parameters (candidate budget,
+   pruning, composition), so they are part of the key: searches with
+   different configurations never alias. *)
+
+open Xpiler_machine
+module Trace = Xpiler_obs.Trace
+
+type entry = {
+  reward : float;  (** best intra-tuned throughput; 0 for non-compiling states *)
+  evaluated : int;  (** intra variants measured by the original evaluation *)
+  pruned : int;  (** intra variants skipped by bound-based pruning *)
+}
+
+module Key = struct
+  type t = {
+    platform : Platform.id;
+    budget : int;
+    prune : bool;
+    compose : bool;
+    kernel : Xpiler_ir.Kernel.t;
+  }
+
+  let equal a b =
+    a.platform = b.platform && a.budget = b.budget && a.prune = b.prune
+    && a.compose = b.compose
+    && Xpiler_ir.Kernel.equal a.kernel b.kernel
+
+  let hash k =
+    let comb = Xpiler_ir.Expr.hash_comb in
+    comb
+      (comb
+         (comb (Hashtbl.hash k.platform) k.budget)
+         (Hashtbl.hash (k.prune, k.compose)))
+      (Xpiler_ir.Kernel.hash k.kernel)
+end
+
+module KTbl = Hashtbl.Make (Key)
+
+(* sized like the intra memos: a full search touches a few thousand states *)
+let capacity = 65536
+let mutex = Mutex.create ()
+let table : entry KTbl.t = KTbl.create 1024
+
+(* stats are plain counters under the same mutex; [evals] additionally
+   counts fresh reward evaluations (including ones made with sharing off, so
+   benches can compare baseline and shared searches with one meter) *)
+let hit_count = ref 0
+let miss_count = ref 0
+let eval_count = ref 0
+
+let key ~platform ~budget ~prune ~compose kernel =
+  { Key.platform; budget; prune; compose; kernel }
+
+let find ~platform ~budget ~prune ~compose kernel =
+  Mutex.protect mutex (fun () ->
+      match KTbl.find_opt table (key ~platform ~budget ~prune ~compose kernel) with
+      | Some e ->
+        incr hit_count;
+        Some e
+      | None ->
+        incr miss_count;
+        None)
+
+(* evict half (arbitrary members; the table records no recency) rather than
+   resetting: a reset would turn every live searcher's next lookups into
+   recomputes at once *)
+let evict_half_locked () =
+  let keys = KTbl.fold (fun k _ acc -> k :: acc) table [] in
+  let dropped = ref 0 in
+  List.iteri
+    (fun i k ->
+      if i land 1 = 0 then begin
+        KTbl.remove table k;
+        incr dropped
+      end)
+    keys;
+  !dropped
+
+let store ~platform ~budget ~prune ~compose kernel entry =
+  let dropped =
+    Mutex.protect mutex (fun () ->
+        let dropped = if KTbl.length table >= capacity then evict_half_locked () else 0 in
+        KTbl.replace table (key ~platform ~budget ~prune ~compose kernel) entry;
+        dropped)
+  in
+  if dropped > 0 then Trace.count ~n:dropped "mcts.tt_evictions"
+
+let count_eval () = Mutex.protect mutex (fun () -> incr eval_count)
+let size () = Mutex.protect mutex (fun () -> KTbl.length table)
+let hits () = Mutex.protect mutex (fun () -> !hit_count)
+let misses () = Mutex.protect mutex (fun () -> !miss_count)
+let evals () = Mutex.protect mutex (fun () -> !eval_count)
+
+let reset_stats () =
+  Mutex.protect mutex (fun () ->
+      hit_count := 0;
+      miss_count := 0;
+      eval_count := 0)
+
+let clear () =
+  Mutex.protect mutex (fun () ->
+      KTbl.reset table;
+      hit_count := 0;
+      miss_count := 0;
+      eval_count := 0)

@@ -1,0 +1,52 @@
+open Xpiler_machine
+
+(** Shared transposition table for MCTS reward evaluations.
+
+    Maps a state — [(platform, intra budget, prune, compose, kernel)], keyed
+    by the structural {!Xpiler_ir.Kernel.hash}/[equal] — to the reward of
+    its intra-pass tuning plus a *receipt* of the effects the original
+    evaluation emitted (variants measured, variants pruned). The table is
+    mutex-protected and process-global: root-parallel MCTS batches and
+    successive searches all share it, so a state is intra-tuned once per
+    process instead of once per searcher.
+
+    Rewards are pure, so sharing changes wall-clock time only, never values.
+    Observable effects are kept deterministic by the receipt discipline (see
+    {!Mcts}): both a table hit and a fresh evaluation emit exactly the
+    receipt's canonical stream, so charges and trace counters depend only on
+    the search trajectory, not on which searcher populated the table first —
+    preserving the byte-identical [--jobs] guarantee.
+
+    At capacity (65536 entries) half the table is evicted (never a full
+    reset), traced as [mcts.tt_evictions]. *)
+
+type entry = {
+  reward : float;  (** best intra-tuned throughput; 0 for non-compiling states *)
+  evaluated : int;  (** intra variants measured by the original evaluation *)
+  pruned : int;  (** intra variants skipped by bound-based pruning *)
+}
+
+val find :
+  platform:Platform.id -> budget:int -> prune:bool -> compose:bool ->
+  Xpiler_ir.Kernel.t -> entry option
+(** Counted as a hit or a miss in {!hits}/{!misses}. *)
+
+val store :
+  platform:Platform.id -> budget:int -> prune:bool -> compose:bool ->
+  Xpiler_ir.Kernel.t -> entry -> unit
+
+val count_eval : unit -> unit
+(** Record one fresh reward evaluation (an actual [Intra.tune] run). {!Mcts}
+    calls this on every table miss *and* when sharing is disabled, so
+    benches can compare search modes with a single meter. *)
+
+val size : unit -> int
+val hits : unit -> int
+val misses : unit -> int
+val evals : unit -> int
+
+val reset_stats : unit -> unit
+(** Zero the hit/miss/eval counters, keeping the entries. *)
+
+val clear : unit -> unit
+(** Drop all entries and zero the counters (bench/test isolation). *)

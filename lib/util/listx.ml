@@ -1,0 +1,15 @@
+(* Small list helpers shared across the tuner and benches. *)
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: go (n - 1) tl
+  in
+  go n xs
+
+let top_k ~k ~score xs =
+  let scored = List.map (fun x -> (score x, x)) xs in
+  (* stable: equal scores keep input order, so callers stay deterministic *)
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare (b : float) a) scored in
+  take k (List.map snd sorted)

@@ -1,0 +1,10 @@
+(** List helpers shared by the tuner's candidate enumerators. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements ([] when [n <= 0]); total, unlike [List.filteri]-based
+    variants it stops walking at [n]. *)
+
+val top_k : k:int -> score:('a -> float) -> 'a list -> 'a list
+(** The [k] highest-scoring elements, best first. The sort is stable, so
+    ties keep input order — callers relying on deterministic candidate
+    streams can use it freely. *)

@@ -40,6 +40,70 @@ let test_bindable_axes () =
   let axes = Knobs.bindable_axes Platform.bang (serial ()) in
   Alcotest.(check bool) "taskId available" true (List.mem Axis.Task_id axes)
 
+(* ---- knob edge cases ---------------------------------------------------- *)
+
+let store v = Stmt.Store { buf = "a"; index = Expr.Var v; value = Expr.Float 1.0 }
+
+let loop ?(kind = Stmt.Serial) var extent body =
+  Stmt.For { var; lo = Expr.Int 0; extent = Expr.Int extent; kind; body }
+
+let test_split_factors_edges () =
+  Alcotest.(check (list int)) "extent 1" [] (Knobs.split_factors Platform.cuda ~extent:1);
+  Alcotest.(check (list int)) "prime extent" [] (Knobs.split_factors Platform.bang ~extent:7);
+  List.iter
+    (fun p ->
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) "proper divisor" true (f > 1 && f < 48 && 48 mod f = 0))
+        (Knobs.split_factors p ~extent:48))
+    [ Platform.cuda; Platform.bang; Platform.hip; Platform.vnni ]
+
+let test_splittable_skips_unit_and_parallel () =
+  let k =
+    Kernel.make ~name:"edge" ~params:[ Builder.buffer "a" ]
+      [ loop "one" 1 [ store "one" ];
+        loop ~kind:(Stmt.Parallel Axis.Task_id) "t" 4 [ loop "i" 8 [ store "i" ] ]
+      ]
+  in
+  (* the extent-1 loop and the parallel axis are not splittable; the serial
+     loop nested under the parallel axis is *)
+  Alcotest.(check (list (pair string int))) "loops" [ ("i", 8) ] (Knobs.splittable_loops k)
+
+let test_reorderable_requires_serial_perfect_nest () =
+  let perfect =
+    Kernel.make ~name:"p" ~params:[ Builder.buffer "a" ]
+      [ loop "i" 4 [ loop "j" 8 [ store "j" ] ] ]
+  in
+  Alcotest.(check (list string)) "perfect 2-nest" [ "i" ] (Knobs.reorderable_loops perfect);
+  let parallel_inner =
+    Kernel.make ~name:"q" ~params:[ Builder.buffer "a" ]
+      [ loop "i" 4 [ loop ~kind:(Stmt.Parallel Axis.Task_id) "j" 8 [ store "j" ] ] ]
+  in
+  Alcotest.(check (list string)) "parallel inner loop" []
+    (Knobs.reorderable_loops parallel_inner)
+
+let test_pipelinable_needs_copy_and_compute () =
+  let copy =
+    Stmt.Memcpy
+      { dst = { Intrin.buf = "a"; offset = Expr.Int 0 };
+        src = { Intrin.buf = "a"; offset = Expr.Int 0 };
+        len = Expr.Int 8
+      }
+  in
+  let both =
+    Kernel.make ~name:"b" ~params:[ Builder.buffer "a" ]
+      [ loop "i" 4 [ copy; store "i" ] ]
+  in
+  Alcotest.(check (list string)) "copy+compute" [ "i" ] (Knobs.pipelinable_loops both);
+  let copy_only =
+    Kernel.make ~name:"c" ~params:[ Builder.buffer "a" ] [ loop "i" 4 [ copy ] ]
+  in
+  Alcotest.(check (list string)) "copy only" [] (Knobs.pipelinable_loops copy_only);
+  let compute_only =
+    Kernel.make ~name:"d" ~params:[ Builder.buffer "a" ] [ loop "i" 4 [ store "i" ] ]
+  in
+  Alcotest.(check (list string)) "compute only" [] (Knobs.pipelinable_loops compute_only)
+
 (* ---- intra-pass tuning ----------------------------------------------------- *)
 
 let test_intra_never_regresses () =
@@ -59,6 +123,78 @@ let test_intra_clock_charged () =
   let _ = Intra.tune ~clock ~platform:Platform.cuda (serial ()) in
   Alcotest.(check bool) "tuning time recorded" true
     (Xpiler_util.Vclock.stage_total clock Xpiler_util.Vclock.Auto_tuning > 0.0)
+
+(* ---- bound-based pruning ------------------------------------------------
+   The pruning proof obligation: [Costmodel.throughput_bound] must dominate
+   [Costmodel.throughput] on every kernel, or the branch-and-bound scan in
+   [Intra.tune] could discard the true optimum. Fuzzed over random kernels
+   on every platform, plus every depth-1 tuning action applied to gemm
+   (launch configurations and transformed loop structures the generator
+   does not produce). *)
+
+let admissible p k =
+  Costmodel.throughput_bound p k ~shapes:[] >= Costmodel.throughput p k ~shapes:[]
+
+let prop_bound_admissible =
+  QCheck.Test.make ~name:"throughput_bound dominates throughput" ~count:40
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let k = Test_support.Kgen.kernel (Xpiler_util.Rng.create seed) in
+      List.for_all (fun p -> admissible p k) Platform.all)
+
+let test_bound_admissible_on_tuning_states () =
+  let k = serial () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "root admissible" true (admissible p k);
+      List.iter
+        (fun spec ->
+          match Xpiler_passes.Pass.apply ~platform:p spec k with
+          | Ok k' -> Alcotest.(check bool) "admissible after action" true (admissible p k')
+          | Error _ -> ())
+        (Actions.enumerate ~buffer_sizes p k))
+    Platform.all
+
+let test_intra_prune_lossless () =
+  List.iter
+    (fun p ->
+      let v_off, s_off =
+        Intra.tune_with_stats ~prune:false ~compose:false ~platform:p (serial ())
+      in
+      let v_on, s_on =
+        Intra.tune_with_stats ~prune:true ~compose:false ~platform:p (serial ())
+      in
+      Alcotest.(check (float 0.0)) "same best throughput" v_off.Intra.throughput
+        v_on.Intra.throughput;
+      Alcotest.(check int) "every candidate accounted for" s_off.Intra.evaluated
+        (s_on.Intra.evaluated + s_on.Intra.pruned);
+      (* composition only ever adds candidates *)
+      let v_comp, _ =
+        Intra.tune_with_stats ~prune:true ~compose:true ~platform:p (serial ())
+      in
+      Alcotest.(check bool) "composition never loses" true
+        (v_comp.Intra.throughput >= v_on.Intra.throughput))
+    [ Platform.cuda; Platform.bang ]
+
+(* ---- memo eviction ------------------------------------------------------ *)
+
+let test_memo_eviction_traced () =
+  let module Tracer = Xpiler_obs.Tracer in
+  let module Trace = Xpiler_obs.Trace in
+  let tracer = Tracer.create ~level:Tracer.Detail () in
+  Trace.install tracer;
+  Fun.protect ~finally:(fun () ->
+      Intra.set_memo_limit 65536;
+      Trace.uninstall ())
+  @@ fun () ->
+  Intra.set_memo_limit 4;
+  for seed = 1 to 12 do
+    ignore
+      (Intra.modelled_throughput Platform.bang
+         (Test_support.Kgen.kernel (Xpiler_util.Rng.create seed)))
+  done;
+  Alcotest.(check bool) "evictions traced" true
+    (Tracer.counter_total tracer "intra.memo_evictions" > 0)
 
 (* ---- actions ------------------------------------------------------------------ *)
 
@@ -117,6 +253,65 @@ let test_mcts_budget_monotone_ish () =
   let r8 = run 8 and r64 = run 64 in
   Alcotest.(check bool) (Printf.sprintf "8 sims %.3g <= 64 sims %.3g" r8 r64) true (r8 <= r64)
 
+(* ---- transposition sharing ---------------------------------------------- *)
+
+let small_config = { Mcts.default_config with simulations = 16; max_depth = 6 }
+
+let test_transposition_values_pure () =
+  (* sharing changes time, never values: same result with the table off,
+     cold, and fully warm *)
+  Transposition.clear ();
+  let r_off = Mcts.search ~config:small_config ~buffer_sizes ~share:false ~platform:Platform.bang (serial ()) in
+  Transposition.clear ();
+  let r_cold = Mcts.search ~config:small_config ~buffer_sizes ~share:true ~platform:Platform.bang (serial ()) in
+  let cold_evals = Transposition.evals () in
+  let r_warm = Mcts.search ~config:small_config ~buffer_sizes ~share:true ~platform:Platform.bang (serial ()) in
+  let warm_evals = Transposition.evals () - cold_evals in
+  Alcotest.(check bool) "share off = share on" true
+    (r_off.Mcts.best_reward = r_cold.Mcts.best_reward
+    && r_off.Mcts.best_specs = r_cold.Mcts.best_specs);
+  Alcotest.(check bool) "cold = warm" true
+    (r_cold.Mcts.best_reward = r_warm.Mcts.best_reward
+    && r_cold.Mcts.best_specs = r_warm.Mcts.best_specs);
+  Alcotest.(check bool) "cold search evaluates" true (cold_evals > 0);
+  Alcotest.(check int) "warm repeat is free" 0 warm_evals;
+  Alcotest.(check bool) "hits recorded" true (Transposition.hits () > 0)
+
+(* ---- schedule database --------------------------------------------------- *)
+
+let gemm_shape_b = List.nth gemm.Opdef.shapes 1
+
+let test_signature_shape_invariant () =
+  let pid = Platform.bang.Platform.id in
+  let sig_a = Schedule_db.signature pid (serial ()) in
+  let sig_b = Schedule_db.signature pid (gemm.Opdef.serial gemm_shape_b) in
+  Alcotest.(check int) "same op, different shape" sig_a sig_b;
+  let softmax = Registry.find_exn "softmax" in
+  let sig_soft = Schedule_db.signature pid (softmax.Opdef.serial (List.hd softmax.Opdef.shapes)) in
+  Alcotest.(check bool) "different op" true (sig_a <> sig_soft);
+  Alcotest.(check bool) "different platform" true
+    (sig_a <> Schedule_db.signature Platform.cuda.Platform.id (serial ()))
+
+let test_warm_start_never_worse () =
+  let pid = Platform.bang.Platform.id in
+  let db = Schedule_db.create () in
+  ignore
+    (Mcts.search ~config:small_config ~buffer_sizes ~share:true ~db ~platform:Platform.bang
+       (gemm.Opdef.serial gemm_shape_b));
+  Alcotest.(check bool) "prime recorded" true (Schedule_db.lookup db pid (serial ()) <> None);
+  Transposition.clear ();
+  let cold = Mcts.search ~config:small_config ~buffer_sizes ~share:true ~platform:Platform.bang (serial ()) in
+  Transposition.clear ();
+  let warm = Mcts.search ~config:small_config ~buffer_sizes ~share:true ~db ~platform:Platform.bang (serial ()) in
+  (* the warm trajectory runs as an extra batch, so the merge can only gain *)
+  Alcotest.(check bool)
+    (Printf.sprintf "warm %.4g >= cold %.4g" warm.Mcts.best_reward cold.Mcts.best_reward)
+    true
+    (warm.Mcts.best_reward >= cold.Mcts.best_reward);
+  (* the winner was recorded back for the next similar translation *)
+  Alcotest.(check bool) "result recorded" true
+    (Schedule_db.lookup db pid (serial ()) = Some warm.Mcts.best_specs)
+
 (* ---- jobs determinism ---------------------------------------------------
    The pool contract promises byte-identical observable behaviour for any
    job count. Assert it end-to-end on both pool call sites: intra-pass
@@ -144,17 +339,20 @@ let observed_run work =
   let counters =
     List.map
       (fun c -> (c, Tracer.counter_total tracer c))
-      [ "intra.variants"; "mcts.simulations"; "mcts.expansions"; "mcts.rollout_steps" ]
+      [ "intra.variants"; "intra.pruned"; "mcts.simulations"; "mcts.expansions";
+        "mcts.rollout_steps"; "mcts.warm_steps"
+      ]
   in
-  (v, List.rev !charges, counters, Vclock.elapsed clock)
+  (v, List.rev !charges, counters, Vclock.elapsed clock, Tracer.events tracer)
 
 let test_intra_jobs_deterministic () =
   forcing_domains @@ fun () ->
   let run jobs =
-    observed_run (fun clock -> Intra.tune ~clock ~jobs ~platform:Platform.bang (serial ()))
+    observed_run (fun clock ->
+        Intra.tune ~clock ~jobs ~prune:false ~platform:Platform.bang (serial ()))
   in
-  let v1, c1, n1, e1 = run 1 in
-  let v4, c4, n4, e4 = run 4 in
+  let v1, c1, n1, e1, _ = run 1 in
+  let v4, c4, n4, e4, _ = run 4 in
   Alcotest.(check bool) "same variant" true
     (v1.Intra.specs = v4.Intra.specs
     && Kernel.equal v1.Intra.kernel v4.Intra.kernel
@@ -172,8 +370,8 @@ let test_mcts_jobs_deterministic () =
     observed_run (fun clock ->
         Mcts.search ~config ~clock ~buffer_sizes ~jobs ~platform:Platform.bang (serial ()))
   in
-  let r1, c1, n1, e1 = run 1 in
-  let r4, c4, n4, e4 = run 4 in
+  let r1, c1, n1, e1, _ = run 1 in
+  let r4, c4, n4, e4, _ = run 4 in
   Alcotest.(check bool) "same result" true
     (r1.Mcts.best_reward = r4.Mcts.best_reward
     && r1.Mcts.best_specs = r4.Mcts.best_specs
@@ -183,6 +381,44 @@ let test_mcts_jobs_deterministic () =
   Alcotest.(check (list (pair string (float 1e-9)))) "same charge stream" c1 c4;
   Alcotest.(check (list (pair string int))) "same trace counters" n1 n4;
   Alcotest.(check (float 1e-9)) "same clock" e1 e4
+
+let test_mcts_jobs_deterministic_full_stack () =
+  (* the PR's regression gate: pruning + composition + shared transposition
+     table + warm-started search, jobs=1 vs jobs=4 — byte-identical result,
+     charge stream, counters and full trace journal. The table is cleared
+     before the jobs=1 run only, so the comparison also proves a cold and a
+     pre-populated table are observably identical (the receipt discipline). *)
+  forcing_domains @@ fun () ->
+  let config =
+    { Mcts.default_config with simulations = 24; max_depth = 6; root_parallel = 3 }
+  in
+  let prime =
+    (Mcts.search ~config ~buffer_sizes ~share:false ~platform:Platform.bang
+       (gemm.Opdef.serial gemm_shape_b))
+      .Mcts.best_specs
+  in
+  Alcotest.(check bool) "prime non-trivial" true (prime <> []);
+  let run ~clear jobs =
+    let db = Schedule_db.create () in
+    Schedule_db.record db Platform.bang.Platform.id (serial ()) ~specs:prime ~reward:1.0;
+    if clear then Transposition.clear ();
+    observed_run (fun clock ->
+        Mcts.search ~config ~clock ~buffer_sizes ~jobs ~share:true ~db
+          ~platform:Platform.bang (serial ()))
+  in
+  let r1, c1, n1, e1, j1 = run ~clear:true 1 in
+  let r4, c4, n4, e4, j4 = run ~clear:false 4 in
+  Alcotest.(check bool) "same result" true
+    (r1.Mcts.best_reward = r4.Mcts.best_reward
+    && r1.Mcts.best_specs = r4.Mcts.best_specs
+    && Kernel.equal r1.Mcts.best_kernel r4.Mcts.best_kernel
+    && r1.Mcts.simulations_run = r4.Mcts.simulations_run
+    && r1.Mcts.nodes_expanded = r4.Mcts.nodes_expanded);
+  Alcotest.(check (list (pair string (float 1e-9)))) "same charge stream" c1 c4;
+  Alcotest.(check (list (pair string int))) "same trace counters" n1 n4;
+  Alcotest.(check bool) "warm steps replayed" true (List.assoc "mcts.warm_steps" n1 > 0);
+  Alcotest.(check (float 1e-9)) "same clock" e1 e4;
+  Alcotest.(check bool) "same trace journal" true (j1 = j4)
 
 let prop_mcts_best_is_valid =
   QCheck.Test.make ~name:"MCTS best kernel always compiles" ~count:6
@@ -200,12 +436,28 @@ let () =
         [ Alcotest.test_case "split factors" `Quick test_split_factors;
           Alcotest.test_case "splittable loops" `Quick test_splittable_loops;
           Alcotest.test_case "space-size ordering" `Quick test_space_size_ordering;
-          Alcotest.test_case "bindable axes" `Quick test_bindable_axes
+          Alcotest.test_case "bindable axes" `Quick test_bindable_axes;
+          Alcotest.test_case "split-factor edges" `Quick test_split_factors_edges;
+          Alcotest.test_case "splittable skips unit/parallel" `Quick
+            test_splittable_skips_unit_and_parallel;
+          Alcotest.test_case "reorderable needs serial nest" `Quick
+            test_reorderable_requires_serial_perfect_nest;
+          Alcotest.test_case "pipelinable needs copy+compute" `Quick
+            test_pipelinable_needs_copy_and_compute
         ] );
       ( "intra",
         [ Alcotest.test_case "never regresses" `Quick test_intra_never_regresses;
           Alcotest.test_case "result correct" `Quick test_intra_result_correct;
-          Alcotest.test_case "clock charged" `Quick test_intra_clock_charged
+          Alcotest.test_case "clock charged" `Quick test_intra_clock_charged;
+          Alcotest.test_case "pruning lossless" `Quick test_intra_prune_lossless;
+          Alcotest.test_case "bound admissible on tuning states" `Quick
+            test_bound_admissible_on_tuning_states;
+          Alcotest.test_case "memo eviction traced" `Quick test_memo_eviction_traced
+        ] );
+      ( "sharing",
+        [ Alcotest.test_case "transposition values pure" `Quick test_transposition_values_pure;
+          Alcotest.test_case "signature shape-invariant" `Quick test_signature_shape_invariant;
+          Alcotest.test_case "warm start never worse" `Quick test_warm_start_never_worse
         ] );
       ( "actions",
         [ Alcotest.test_case "no reduction bind" `Quick test_actions_exclude_reduction_bind;
@@ -219,7 +471,12 @@ let () =
         ] );
       ( "jobs",
         [ Alcotest.test_case "intra jobs=1 = jobs=4" `Quick test_intra_jobs_deterministic;
-          Alcotest.test_case "mcts jobs=1 = jobs=4" `Quick test_mcts_jobs_deterministic
+          Alcotest.test_case "mcts jobs=1 = jobs=4" `Quick test_mcts_jobs_deterministic;
+          Alcotest.test_case "full stack jobs=1 = jobs=4" `Quick
+            test_mcts_jobs_deterministic_full_stack
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_mcts_best_is_valid ])
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_mcts_best_is_valid;
+          QCheck_alcotest.to_alcotest prop_bound_admissible
+        ] )
     ]

@@ -233,6 +233,26 @@ let prop_bernoulli_frequency =
       done;
       Float.abs ((float_of_int !hits /. float_of_int n) -. p) < 0.05)
 
+module Listx = Xpiler_util.Listx
+
+let test_listx_take () =
+  Alcotest.(check (list int)) "shorter list" [ 1; 2 ] (Listx.take 5 [ 1; 2 ]);
+  Alcotest.(check (list int)) "exact" [ 1; 2; 3 ] (Listx.take 3 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "prefix" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "zero" [] (Listx.take 0 [ 1; 2 ]);
+  Alcotest.(check (list int)) "negative" [] (Listx.take (-1) [ 1; 2 ])
+
+let test_listx_top_k () =
+  let score = float_of_int in
+  Alcotest.(check (list int)) "best first" [ 9; 7; 4 ]
+    (Listx.top_k ~k:3 ~score [ 4; 9; 1; 7; 2 ]);
+  Alcotest.(check (list int)) "k exceeds length" [ 2; 1 ]
+    (Listx.top_k ~k:10 ~score [ 1; 2 ]);
+  (* ties keep input order (stable) *)
+  Alcotest.(check (list (pair int string))) "stable on ties"
+    [ (1, "a"); (1, "b") ]
+    (Listx.top_k ~k:2 ~score:(fun (s, _) -> float_of_int s) [ (1, "a"); (0, "z"); (1, "b") ])
+
 let () =
   Alcotest.run "util"
     [ ( "rng",
@@ -260,6 +280,10 @@ let () =
           Alcotest.test_case "first error by index" `Quick test_pool_first_error_by_index;
           Alcotest.test_case "nested maps inline" `Quick test_pool_nested_inline;
           Alcotest.test_case "domain clamp" `Quick test_pool_jobs_clamp
+        ] );
+      ( "listx",
+        [ Alcotest.test_case "take" `Quick test_listx_take;
+          Alcotest.test_case "top_k" `Quick test_listx_top_k
         ] );
       ("properties", [ QCheck_alcotest.to_alcotest prop_bernoulli_frequency ])
     ]
