@@ -32,7 +32,7 @@ let annotation () =
           Xpiler.transcompile ~config ~src:Platform.Cuda ~dst:Platform.Bang ~op:c.op
             ~shape:c.shape ()
         in
-        if o.Xpiler.status = Xpiler.Success then acc + 1 else acc)
+        if Xpiler.accepted o.Xpiler.status then acc + 1 else acc)
       0 (sample_cases ())
   in
   let total = List.length (sample_cases ()) in

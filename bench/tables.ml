@@ -185,7 +185,7 @@ let eval_direction m ~src ~dst =
             | Xpiler config -> (
               let o = Xpiler.transcompile ~config ~src ~dst ~op:c.op ~shape:c.shape () in
               match o.status with
-              | Xpiler.Success -> (true, true)
+              | Xpiler.Success | Xpiler.Degraded -> (true, true)
               | Xpiler.Computation_error _ -> (true, false)
               | Xpiler.Compile_error _ -> (false, false))))
       cs
@@ -312,7 +312,7 @@ let fig7 () =
                         ~shape:c.shape ()
                     in
                     match (o.Xpiler.status, o.Xpiler.kernel) with
-                    | Xpiler.Success, Some k ->
+                    | (Xpiler.Success | Xpiler.Degraded), Some k ->
                       Some (Baselines.Vendor.speedup_of_translated dst c.op c.shape k)
                     | _ -> None))
               class_cases

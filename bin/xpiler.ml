@@ -59,6 +59,27 @@ let no_warm_start_arg =
   in
   Arg.(value & flag & info [ "no-warm-start" ] ~doc)
 
+let max_escalation_arg =
+  let doc =
+    "Cap the fault-class escalation ladder at rung $(docv) (0 validate-only, 1 +hinted \
+     re-prompt, 2 +SMT repair, 3 +symbolic fallback, 4 +skip-with-rollback)."
+  in
+  Arg.(value & opt int 4 & info [ "max-escalation" ] ~docv:"RUNG" ~doc)
+
+let no_rollback_arg =
+  let doc =
+    "Commit a pass's output even when validation failed and every repair rung gave up \
+     (the pre-resilience behaviour); skipped-pass rollback is on by default."
+  in
+  Arg.(value & flag & info [ "no-rollback" ] ~doc)
+
+let fault_scale_arg =
+  let doc =
+    "Multiplier on the simulated LLM's fault-injection rates (default 1.0, the \
+     calibrated paper rates); raise it to watch the escalation ladder work."
+  in
+  Arg.(value & opt float 1.0 & info [ "fault-scale" ] ~docv:"F" ~doc)
+
 let trace_arg =
   let doc =
     "Write a JSONL trace journal of the translation to $(docv) (replay it with `xpiler \
@@ -96,7 +117,8 @@ let find_op name =
 
 (* ---- translate ------------------------------------------------------------ *)
 
-let translate op_name shape src dst tune seed jobs no_prune no_warm_start trace trace_level =
+let translate op_name shape src dst tune seed jobs no_prune no_warm_start max_escalation
+    no_rollback fault_scale trace trace_level =
   let op = find_op op_name in
   let shape = parse_shape op shape in
   let config =
@@ -106,9 +128,12 @@ let translate op_name shape src dst tune seed jobs no_prune no_warm_start trace 
     let base =
       { base with
         Config.tuning_prune = not no_prune;
-        tuning_warm_start = not no_warm_start
+        tuning_warm_start = not no_warm_start;
+        rollback = not no_rollback
       }
     in
+    let base = Config.with_max_escalation base max_escalation in
+    let base = Config.with_fault_scale base fault_scale in
     match trace with
     | Some sink -> Config.with_trace ~sink base trace_level
     | None -> base
@@ -121,6 +146,15 @@ let translate op_name shape src dst tune seed jobs no_prune no_warm_start trace 
     (String.concat " | " (List.map Xpiler_passes.Pass.describe o.Xpiler.specs_applied));
   Printf.printf "// repairs: %d attempted, %d succeeded\n" o.Xpiler.repairs_attempted
     o.Xpiler.repairs_succeeded;
+  (match o.Xpiler.skipped_passes with
+  | [] -> ()
+  | skipped ->
+    Printf.printf "// skipped (rolled back): %s\n"
+      (String.concat " | " (List.map Xpiler_passes.Pass.describe skipped)));
+  (match Ledger.escalated o.Xpiler.ledger with
+  | [] -> ()
+  | escalated ->
+    print_string (Report.render (Ledger.report escalated)));
   Printf.printf "// modelled compile time: %.2f h\n"
     (Xpiler_util.Vclock.elapsed o.Xpiler.clock /. 3600.0);
   (match o.Xpiler.throughput with
@@ -139,7 +173,8 @@ let translate_cmd =
   Cmd.v info
     Term.(
       const translate $ op_arg $ shape_arg $ src_arg $ dst_arg $ tune_arg $ seed_arg
-      $ jobs_arg $ no_prune_arg $ no_warm_start_arg $ trace_arg $ trace_level_arg)
+      $ jobs_arg $ no_prune_arg $ no_warm_start_arg $ max_escalation_arg $ no_rollback_arg
+      $ fault_scale_arg $ trace_arg $ trace_level_arg)
 
 (* ---- show-source ----------------------------------------------------------- *)
 

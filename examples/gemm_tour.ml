@@ -30,7 +30,7 @@ let () =
       in
       let vendor_ratio =
         match (o.Xpiler.status, o.Xpiler.kernel) with
-        | Xpiler.Success, Some k -> Xpiler_baselines.Vendor.speedup_of_translated dst op shape k
+        | (Xpiler.Success | Xpiler.Degraded), Some k -> Xpiler_baselines.Vendor.speedup_of_translated dst op shape k
         | _ -> 0.0
       in
       Printf.printf "  -> %-5s: %-40s vs vendor: %.2fx\n"

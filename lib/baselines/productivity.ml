@@ -64,7 +64,7 @@ let study ?(config = Xpiler_core.Config.tuned) ~src ~dst () =
   let loc = Xpiler_lang.Codegen.lines_of_code (Idiom.source_text dst op shape) in
   let outcome = Xpiler_core.Xpiler.transcompile ~config ~src ~dst ~op ~shape () in
   let compile_hours = Vclock.elapsed outcome.Xpiler_core.Xpiler.clock /. 3600.0 in
-  let xpiler_correct = outcome.Xpiler_core.Xpiler.status = Xpiler_core.Xpiler.Success in
+  let xpiler_correct = Xpiler_core.Xpiler.accepted outcome.Xpiler_core.Xpiler.status in
   let xpiler_tp =
     match outcome.Xpiler_core.Xpiler.kernel with
     | Some k when xpiler_correct -> Costmodel.throughput platform k ~shapes:[]

@@ -1,0 +1,67 @@
+module Pass = Xpiler_passes.Pass
+module Fault = Xpiler_neural.Fault
+
+type rung = Validate | Reprompt | Smt | Symbolic | Skip
+
+let rung_index = function Validate -> 0 | Reprompt -> 1 | Smt -> 2 | Symbolic -> 3 | Skip -> 4
+
+let rung_name = function
+  | Validate -> "validate"
+  | Reprompt -> "reprompt"
+  | Smt -> "smt-repair"
+  | Symbolic -> "symbolic"
+  | Skip -> "skip"
+
+type result =
+  | Applied  (** valid on the first attempt *)
+  | Applied_reprompt  (** a hinted re-prompt produced a valid kernel *)
+  | Repaired  (** SMT repair fixed the faulty kernel *)
+  | Symbolic_applied  (** rewrite-only application, no LLM in the loop *)
+  | Skipped  (** rolled back to the checkpoint; pass left out of the plan *)
+  | Committed_broken  (** rollback off: the invalid kernel entered the state *)
+  | Not_applicable of string
+
+let result_name = function
+  | Applied -> "applied"
+  | Applied_reprompt -> "applied-reprompt"
+  | Repaired -> "repaired"
+  | Symbolic_applied -> "symbolic"
+  | Skipped -> "skipped"
+  | Committed_broken -> "committed-broken"
+  | Not_applicable _ -> "inapplicable"
+
+type entry = {
+  spec : Pass.spec;
+  attempts : int;  (** LLM calls spent on this pass, re-prompts included *)
+  rung : rung;  (** highest escalation rung reached *)
+  fault_classes : Fault.category list;  (** distinct classes diagnosed, in order *)
+  time_charged : float;  (** virtual-clock seconds charged during the pass *)
+  result : result;
+}
+
+let escalated entries = List.filter (fun e -> rung_index e.rung > 0) entries
+
+let classes_to_string cats =
+  match cats with
+  | [] -> "-"
+  | cats -> String.concat "+" (List.map Fault.category_name cats)
+
+let trace_attrs e =
+  [ ("spec", Pass.describe e.spec);
+    ("rung", rung_name e.rung);
+    ("attempts", string_of_int e.attempts);
+    ("faults", classes_to_string e.fault_classes);
+    ("result", result_name e.result) ]
+
+let report entries =
+  Report.make ~title:"Pass attempt ledger"
+    ~cols:[ "rung"; "attempts"; "fault classes"; "charged s"; "result" ]
+    (List.map
+       (fun e ->
+         ( Pass.describe e.spec,
+           [ Report.Text (rung_name e.rung);
+             Report.Count e.attempts;
+             Report.Text (classes_to_string e.fault_classes);
+             Report.Num e.time_charged;
+             Report.Text (result_name e.result) ] ))
+       entries)

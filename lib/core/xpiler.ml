@@ -7,17 +7,19 @@ module Vclock = Xpiler_util.Vclock
 module Rng = Xpiler_util.Rng
 module Obs = Xpiler_obs
 
-type status = Success | Compile_error of string | Computation_error of string
+type status = Success | Degraded | Compile_error of string | Computation_error of string
 
 type outcome = {
   status : status;
   kernel : Kernel.t option;
   target_text : string option;
   specs_applied : Pass.spec list;
+  skipped_passes : Pass.spec list;
   faults_seen : Fault.injected list;
   residual_faults : Fault.injected list;
   repairs_attempted : int;
   repairs_succeeded : int;
+  ledger : Ledger.entry list;
   clock : Vclock.t;
   throughput : float option;
   trace : Obs.Event.t list;
@@ -25,8 +27,11 @@ type outcome = {
 
 let status_to_string = function
   | Success -> "success"
+  | Degraded -> "degraded"
   | Compile_error m -> "compile error: " ^ m
   | Computation_error m -> "computation error: " ^ m
+
+let accepted = function Success | Degraded -> true | Compile_error _ | Computation_error _ -> false
 
 let strip_annots (k : Kernel.t) =
   let rec go block =
@@ -62,16 +67,20 @@ let complexity_multiplier (k : Kernel.t) =
   let control = 1.0 +. (1.0 *. Float.min 4.0 (float_of_int !dyn_ifs)) in
   size *. control
 
+(* hot-loop accumulators are kept in reverse and finalized once in
+   [finish] — appending with [@] per pass made the loop quadratic *)
 type state = {
   mutable kernel : Kernel.t;
-  mutable specs : Pass.spec list;
-  mutable faults_seen : Fault.injected list;
+  mutable specs_rev : Pass.spec list;
+  mutable skipped_rev : Pass.spec list;
+  mutable faults_seen_rev : Fault.injected list;
   mutable active_faults : Fault.injected list;
   mutable repairs_attempted : int;
   mutable repairs_succeeded : int;
+  mutable ledger_rev : Ledger.entry list;
 }
 
-type pass_result = Applied | Inapplicable of string | Broken
+type pass_result = Applied | Inapplicable of string | Broken | Skipped
 
 let case_seed (config : Config.t) src dst (op : Opdef.t) shape =
   Hashtbl.hash
@@ -166,15 +175,18 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
   let base_profile =
     Profile.pass_level ~annotated:config.Config.annotate
     |> (fun p -> Profile.scale p (sqrt (Profile.direction_difficulty ~src ~dst)))
-    |> fun p -> Profile.scale p (complexity_multiplier src_kernel)
+    |> (fun p -> Profile.scale p (complexity_multiplier src_kernel))
+    |> fun p -> Profile.scale p config.Config.fault_scale
   in
   let st =
     { kernel = strip_annots annotated_kernel;
-      specs = [];
-      faults_seen = [];
+      specs_rev = [];
+      skipped_rev = [];
+      faults_seen_rev = [];
       active_faults = [];
       repairs_attempted = 0;
-      repairs_succeeded = 0
+      repairs_succeeded = 0;
+      ledger_rev = []
     }
   in
   let compile_ok k = Checker.compile target k = Ok () in
@@ -206,69 +218,158 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
     end
     else unit_ok k
   in
-  (* one LLM-assisted pass with validation and symbolic repair *)
+  (* one LLM-assisted pass with validation; a failed validation climbs the
+     fault-class escalation ladder instead of the old single flat retry:
+       rung 1  re-prompt with a fault-specific hint (per-class budgets,
+               virtual-clock backoff)
+       rung 2  SMT-based code repairing (Algorithm 3)
+       rung 3  symbolic fallback: rewrite-only pass application, no LLM
+       rung 4  skip-with-rollback: restore the last validated checkpoint
+               and re-plan the remaining sequence around the skipped pass
+     With [rollback] off the ladder bottoms out the old way: the broken
+     kernel is committed and the pipeline ends [Broken]. *)
+  let esc = config.Config.escalation in
   let run_pass_untraced spec =
-    let prompt = Meta_prompt.build ~target:dst spec st.kernel in
-    match Llm.apply_pass llm ~profile:base_profile ~target ~prompt spec st.kernel with
-    | Error m -> Inapplicable m
-    | Ok (k', faults) ->
-      st.faults_seen <- st.faults_seen @ faults;
-      st.active_faults <- st.active_faults @ faults;
-      if valid k' then begin
-        st.kernel <- k';
-        st.specs <- st.specs @ [ spec ];
-        st.active_faults <- [];
-        Applied
+    let checkpoint = st.kernel in
+    let t0 = Vclock.elapsed clock in
+    let attempts = ref 0 in
+    let fault_classes = ref [] in
+    let rung = ref Ledger.Validate in
+    let reach r = if Ledger.rung_index r > Ledger.rung_index !rung then rung := r in
+    let note_faults faults =
+      st.faults_seen_rev <- List.rev_append faults st.faults_seen_rev;
+      List.iter
+        (fun (f : Fault.injected) ->
+          if not (List.mem f.Fault.category !fault_classes) then
+            fault_classes := !fault_classes @ [ f.Fault.category ])
+        faults
+    in
+    let record result pass_result =
+      let entry =
+        { Ledger.spec;
+          attempts = !attempts;
+          rung = !rung;
+          fault_classes = !fault_classes;
+          time_charged = Vclock.elapsed clock -. t0;
+          result
+        }
+      in
+      st.ledger_rev <- entry :: st.ledger_rev;
+      Obs.Trace.instant ~attrs:(Ledger.trace_attrs entry) "pass.ledger";
+      pass_result
+    in
+    let apply_ok k result =
+      st.kernel <- k;
+      st.specs_rev <- spec :: st.specs_rev;
+      st.active_faults <- [];
+      record result Applied
+    in
+    let commit_broken k live_faults =
+      st.kernel <- k;
+      st.specs_rev <- spec :: st.specs_rev;
+      st.active_faults <- st.active_faults @ live_faults;
+      record Ledger.Committed_broken Broken
+    in
+    let reprompt_budget () =
+      List.fold_left
+        (fun m c ->
+          max m
+            (match c with
+            | Fault.Parallelism -> esc.Config.reprompt_parallelism
+            | Fault.Memory -> esc.Config.reprompt_memory
+            | Fault.Instruction -> esc.Config.reprompt_instruction))
+        0 !fault_classes
+    in
+    (* rung 4: never commit a checker-rejected kernel — roll back to the
+       checkpoint ([st.kernel] was last assigned a validated kernel, so
+       leaving it untouched IS the rollback) and skip the pass *)
+    let rec try_skip k live_faults =
+      if config.Config.rollback then begin
+        reach Ledger.Skip;
+        Obs.Trace.count "escalate.skip";
+        st.skipped_rev <- spec :: st.skipped_rev;
+        record Ledger.Skipped Skipped
       end
-      else if config.Config.use_smt then begin
+      else commit_broken k live_faults
+    (* rung 3: the symbolic rewrite applied to the checkpoint — slower in the
+       modelled clock and inflexible, but it cannot hallucinate *)
+    and try_symbolic k live_faults =
+      if not esc.Config.symbolic_fallback then try_skip k live_faults
+      else begin
+        reach Ledger.Symbolic;
+        Obs.Trace.count "escalate.symbolic";
+        match Pass.apply ~platform:target spec checkpoint with
+        | Error _ -> try_skip k live_faults
+        | Ok k_sym ->
+          Vclock.charge clock Vclock.Symbolic_fallback
+            (20.0 +. (2.0 *. float_of_int (Stmt.count_stmts k_sym.Kernel.body)));
+          if valid k_sym then apply_ok k_sym Ledger.Symbolic_applied
+          else try_skip k live_faults
+      end
+    (* legacy Self-Debugging (the w/o-SMT ablation): one flat resample with
+       no hint — most retries reproduce the same faulty output *)
+    and legacy_self_debug k live_faults =
+      if Rng.bernoulli retry_rng 0.85 then commit_broken k live_faults
+      else begin
+        match Llm.apply_pass llm ~profile:base_profile ~target ~prompt:(prompt ()) spec checkpoint with
+        | Error m -> record (Ledger.Not_applicable m) (Inapplicable m)
+        | Ok (k'', faults') ->
+          incr attempts;
+          note_faults faults';
+          if valid k'' then apply_ok k'' Ledger.Applied_reprompt
+          else if config.Config.rollback then try_symbolic k'' faults'
+          else commit_broken k'' (live_faults @ faults')
+      end
+    (* rung 2 *)
+    and try_smt k live_faults =
+      if not config.Config.use_smt then
+        if config.Config.self_debugging then legacy_self_debug k live_faults
+        else try_symbolic k live_faults
+      else begin
+        reach Ledger.Smt;
         st.repairs_attempted <- st.repairs_attempted + 1;
         match
           Xpiler_repair.Repairer.repair ~static:!static_diags ~clock ~platform:target ~op
-            ~shape k'
+            ~shape k
         with
         | Xpiler_repair.Repairer.Repaired { kernel; _ } ->
           st.repairs_succeeded <- st.repairs_succeeded + 1;
-          st.kernel <- kernel;
-          st.specs <- st.specs @ [ spec ];
-          st.active_faults <- [];
-          Applied
-        | Xpiler_repair.Repairer.Gave_up _ ->
-          st.kernel <- k';
-          st.specs <- st.specs @ [ spec ];
-          Broken
+          apply_ok kernel Ledger.Repaired
+        | Xpiler_repair.Repairer.Gave_up _ -> try_symbolic k live_faults
       end
-      else if config.Config.self_debugging then begin
-        (* Self-Debugging resamples the LLM, but its errors are largely
-           systematic: most retries reproduce the same faulty output *)
-        if Rng.bernoulli retry_rng 0.85 then begin
-          st.kernel <- k';
-          st.specs <- st.specs @ [ spec ];
-          Broken
-        end
-        else begin
-          match Llm.apply_pass llm ~profile:base_profile ~target ~prompt spec st.kernel with
-          | Error m -> Inapplicable m
-          | Ok (k'', faults') ->
-            st.faults_seen <- st.faults_seen @ faults';
-            if valid k'' then begin
-              st.kernel <- k'';
-              st.specs <- st.specs @ [ spec ];
-              st.active_faults <- [];
-              Applied
-            end
-            else begin
-              st.active_faults <- st.active_faults @ faults';
-              st.kernel <- k'';
-              st.specs <- st.specs @ [ spec ];
-              Broken
-            end
-        end
-      end
+    (* rung 1: the re-prompt includes a hint naming the diagnosed fault
+       classes, which damps exactly those classes' rates; each retry waits
+       out an escalating virtual-clock backoff on top of the call itself *)
+    and reprompt k live_faults i =
+      if i > reprompt_budget () then try_smt k live_faults
       else begin
-        st.kernel <- k';
-        st.specs <- st.specs @ [ spec ];
-        Broken
+        reach Ledger.Reprompt;
+        Obs.Trace.count "escalate.reprompt";
+        Vclock.charge clock Vclock.Llm_transform
+          (45.0 *. (esc.Config.backoff ** float_of_int i));
+        let hinted = Meta_prompt.with_hints ~categories:!fault_classes (prompt ()) in
+        let damped =
+          Profile.damp base_profile !fault_classes
+            (esc.Config.reprompt_damping ** float_of_int i)
+        in
+        match Llm.apply_pass llm ~profile:damped ~target ~prompt:hinted spec checkpoint with
+        | Error m -> record (Ledger.Not_applicable m) (Inapplicable m)
+        | Ok (k', faults') ->
+          incr attempts;
+          note_faults faults';
+          if valid k' then apply_ok k' Ledger.Applied_reprompt
+          else reprompt k' faults' (i + 1)
       end
+    and prompt =
+      let p = lazy (Meta_prompt.build ~target:dst spec checkpoint) in
+      fun () -> Lazy.force p
+    in
+    match Llm.apply_pass llm ~profile:base_profile ~target ~prompt:(prompt ()) spec checkpoint with
+    | Error m -> record (Ledger.Not_applicable m) (Inapplicable m)
+    | Ok (k', faults) ->
+      incr attempts;
+      note_faults faults;
+      if valid k' then apply_ok k' Ledger.Applied else reprompt k' faults 1
   in
   let run_pass spec =
     Obs.Trace.span ~cat:"pass" (Pass.describe spec) (fun () ->
@@ -277,7 +378,8 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
           (match r with
           | Applied -> "pass.applied"
           | Inapplicable _ -> "pass.inapplicable"
-          | Broken -> "pass.broken");
+          | Broken -> "pass.broken"
+          | Skipped -> "pass.skipped");
         r)
   in
   (* phase 1: sequentialize when the source is parallel *)
@@ -301,11 +403,13 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
           (match Unit_test.check ~trials:1 op shape k with
           | Unit_test.Fail m -> m
           | Unit_test.Pass -> "flaky")
+      else if st.skipped_rev <> [] then Degraded
       else Success
     in
-    (* hierarchical auto-tuning on accepted translations *)
+    (* hierarchical auto-tuning on accepted translations (a degraded kernel
+       still computes correctly, so it is tuned like any other) *)
     let k, throughput =
-      if status = Success && config.Config.tune then begin
+      if accepted status && config.Config.tune then begin
         let mcts_config =
           { config.Config.mcts with Xpiler_tuning.Mcts.prune = config.Config.tuning_prune }
         in
@@ -321,24 +425,29 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
         if unit_ok tuned then (tuned, Some result.Xpiler_tuning.Mcts.best_reward)
         else (k, Some (Costmodel.throughput target k ~shapes:[]))
       end
-      else if status = Success then (k, Some (Costmodel.throughput target k ~shapes:[]))
+      else if accepted status then (k, Some (Costmodel.throughput target k ~shapes:[]))
       else (k, None)
     in
     { status;
       kernel = Some k;
       target_text = Some (Xpiler_lang.Codegen.emit (Xpiler_lang.Dialect.of_platform dst) k);
-      specs_applied = st.specs;
-      faults_seen = st.faults_seen;
+      specs_applied = List.rev st.specs_rev;
+      skipped_passes = List.rev st.skipped_rev;
+      faults_seen = List.rev st.faults_seen_rev;
       residual_faults = st.active_faults;
       repairs_attempted = st.repairs_attempted;
       repairs_succeeded = st.repairs_succeeded;
+      ledger = List.rev st.ledger_rev;
       clock;
       throughput;
       trace = []
     }
   in
   match recovery_ok with
-  | Broken | Inapplicable _ -> finish ()
+  (* a skipped recovery leaves the (validated) source kernel in place: no
+     phase below can run on a still-parallel program, so finalize — the
+     outcome is Degraded or a compile error, never a committed-broken state *)
+  | Broken | Inapplicable _ | Skipped -> finish ()
   | Applied -> (
     (* phase 1.5: canonicalize split elementwise loops back into flat loops *)
     let rec normalize () =
@@ -348,7 +457,7 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
         -> (
         match run_pass (Pass.Loop_fuse { var }) with
         | Applied -> normalize ()
-        | Inapplicable _ | Broken -> ())
+        | Inapplicable _ | Broken | Skipped -> ())
       | _ -> ()
     in
     normalize ();
@@ -366,11 +475,13 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
         | [] -> Applied
         | spec :: rest -> (
           match run_pass spec with
-          | Applied -> run rest
+          (* a skipped fix rolls back and the plan continues around it *)
+          | Applied | Skipped -> run rest
           | (Inapplicable _ | Broken) as r -> r)
       in
       match run detens with
       | (Inapplicable _ | Broken) as r -> r
+      | Skipped -> assert false (* [run] never returns Skipped *)
       | Applied ->
         (* drop source-side staging (the target pipeline re-stages), falling
            back to a local-scratch rescope for genuine temporaries *)
@@ -391,19 +502,23 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
     else if st.active_faults <> [] then finish ()
     else begin
       (* phase 2: retarget via the candidate pass pipelines *)
-      let base = st.kernel and base_specs = st.specs in
+      let base = st.kernel and base_specs = st.specs_rev and base_skipped = st.skipped_rev in
       let pipelines = Idiom.pipelines_for dst op shape st.kernel in
       let rec try_pipelines = function
         | [] -> finish ()
         | pipeline :: rest -> (
           st.kernel <- base;
-          st.specs <- base_specs;
+          st.specs_rev <- base_specs;
+          st.skipped_rev <- base_skipped;
           st.active_faults <- [];
           let rec run = function
             | [] -> finish ()
             | spec :: specs -> (
               match run_pass spec with
               | Applied -> run specs
+              (* re-plan around the skipped pass: the rest of the pipeline
+                 still runs against the rolled-back checkpoint *)
+              | Skipped -> run specs
               | Inapplicable _ -> try_pipelines rest
               | Broken -> finish ())
           in

@@ -14,6 +14,10 @@ open Xpiler_ops
 
 type status =
   | Success
+  | Degraded
+      (** the kernel compiles and computes correctly, but one or more passes
+          were skipped with rollback on the escalation ladder — a partial
+          success, distinguishable from a broken end state *)
   | Compile_error of string
   | Computation_error of string
 
@@ -22,10 +26,16 @@ type outcome = {
   kernel : Kernel.t option;  (** the final translated kernel *)
   target_text : string option;  (** rendered in the target dialect *)
   specs_applied : Xpiler_passes.Pass.spec list;
+  skipped_passes : Xpiler_passes.Pass.spec list;
+      (** passes rolled back and planned around (nonempty iff escalation
+          reached the skip rung on the surviving plan) *)
   faults_seen : Xpiler_neural.Fault.injected list;  (** everything the oracle injected *)
   residual_faults : Xpiler_neural.Fault.injected list;  (** faults alive in the result *)
   repairs_attempted : int;
   repairs_succeeded : int;
+  ledger : Ledger.entry list;
+      (** per-pass attempt ledger: escalation rung, fault classes, attempts
+          and virtual time charged, in execution order *)
   clock : Xpiler_util.Vclock.t;  (** modelled compile-time breakdown (Figure 8) *)
   throughput : float option;  (** modelled, when translation succeeded *)
   trace : Xpiler_obs.Event.t list;
@@ -36,6 +46,9 @@ type outcome = {
 }
 
 val status_to_string : status -> string
+
+val accepted : status -> bool
+(** [Success] and [Degraded]: the result compiles and computes correctly. *)
 
 val transcompile :
   ?config:Config.t ->

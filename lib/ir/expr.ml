@@ -112,16 +112,7 @@ let rec fold f acc e =
   | Select (c, t, fe) -> fold f (fold f (fold f acc c) t) fe
   | Cast (_, x) -> fold f acc x
 
-let dedup xs =
-  let seen = Hashtbl.create 8 in
-  List.filter
-    (fun x ->
-      if Hashtbl.mem seen x then false
-      else begin
-        Hashtbl.add seen x ();
-        true
-      end)
-    xs
+let dedup = Xpiler_util.Listx.dedup
 
 let free_vars e =
   fold (fun acc e -> match e with Var x -> x :: acc | _ -> acc) [] e

@@ -123,8 +123,7 @@ let map_exprs f t =
   }
 
 let buffers t =
-  let names = t.dst.buf :: List.map (fun (r : buf_ref) -> r.buf) t.srcs in
-  List.fold_left (fun acc b -> if List.mem b acc then acc else acc @ [ b ]) [] names
+  Xpiler_util.Listx.dedup (t.dst.buf :: List.map (fun (r : buf_ref) -> r.buf) t.srcs)
 
 let to_string t =
   let ref_str (r : buf_ref) =

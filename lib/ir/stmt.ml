@@ -127,8 +127,7 @@ let fold f acc block =
   iter (fun s -> acc := f !acc s) block;
   !acc
 
-let dedup xs =
-  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+let dedup = Xpiler_util.Listx.dedup
 
 let buffers_written block =
   fold

@@ -6,7 +6,27 @@ type t = {
   agnostic : string;
   examples : string list;
   knobs : string option;
+  hints : string list;
 }
+
+(* fault-specific guidance for a re-prompt, keyed by the fault class the
+   validator diagnosed on the previous attempt (escalation ladder, rung 1) *)
+let hint_for = function
+  | Fault.Parallelism ->
+    "The previous attempt mis-mapped a parallel built-in variable. Use only \
+     the target platform's built-ins, preserve the barrier structure, and do \
+     not invent parallelism the target cannot launch."
+  | Fault.Memory ->
+    "The previous attempt mis-staged a buffer. Check every staging copy and \
+     the on-chip memory space of each buffer against the target memory \
+     hierarchy, and keep store indices aligned with the staged window."
+  | Fault.Instruction ->
+    "The previous attempt selected a wrong intrinsic or parameter. Verify \
+     each intrinsic and its length parameters against the target ISA \
+     reference, and re-derive loop bounds from the iteration space."
+
+let with_hints ~categories t =
+  { t with hints = List.map hint_for categories }
 
 let agnostic_description spec =
   match Pass.name spec with
@@ -67,7 +87,8 @@ let build ~target spec kernel =
   { pass_name = Pass.describe spec;
     agnostic = agnostic_description spec;
     examples;
-    knobs = knob_text spec
+    knobs = knob_text spec;
+    hints = []
   }
 
 let render t =
@@ -81,6 +102,10 @@ let render t =
   (match t.knobs with
   | Some k -> Buffer.add_string b ("\nTuning knobs:\n" ^ k ^ "\n")
   | None -> ());
+  if t.hints <> [] then begin
+    Buffer.add_string b "\nFault-specific hints from the previous attempt:\n";
+    List.iter (fun h -> Buffer.add_string b ("- " ^ h ^ "\n")) t.hints
+  end;
   Buffer.contents b
 
 let token_count t kernel =

@@ -99,6 +99,28 @@ let direction_difficulty ~src ~dst =
 
 let clamp p = Float.min 0.98 (Float.max 0.0 p)
 
+(* a fault-specific hint in the prompt lowers the rates of exactly the
+   hinted fault classes; everything else is untouched (re-prompting does not
+   make the model better at errors nobody told it about) *)
+let damp t categories f =
+  List.fold_left
+    (fun t c ->
+      match c with
+      | Fault.Parallelism ->
+        { t with structural_parallel = clamp (t.structural_parallel *. f) }
+      | Fault.Memory ->
+        { t with
+          structural_memory = clamp (t.structural_memory *. f);
+          detail_index = clamp (t.detail_index *. f)
+        }
+      | Fault.Instruction ->
+        { t with
+          structural_instruction = clamp (t.structural_instruction *. f);
+          detail_bound = clamp (t.detail_bound *. f);
+          detail_param = clamp (t.detail_param *. f)
+        })
+    t categories
+
 let scale t f =
   { t with
     structural_parallel = clamp (t.structural_parallel *. f);

@@ -39,3 +39,9 @@ val direction_difficulty : src:Platform.id -> dst:Platform.id -> float
 
 val scale : t -> float -> t
 (** Scale every fault probability (clamped to [0, 0.98]). *)
+
+val damp : t -> Fault.category list -> float -> t
+(** [damp t cats f] multiplies only the fault rates belonging to the listed
+    fault classes by [f] — the modelled effect of a fault-specific hint in a
+    re-prompt (paper §2.2 taxonomy): a hint about parallelism built-ins does
+    not make index arithmetic any more reliable. *)

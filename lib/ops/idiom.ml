@@ -341,14 +341,22 @@ let vnni_specs (k : Kernel.t) =
 
 (* ---- driver ----------------------------------------------------------------------- *)
 
+(* The idiom builders pattern-match a canonical (fully despecialized) serial
+   kernel. Under skip-with-rollback the checkpoint handed to the planner may
+   retain source-platform structure — e.g. the outer loop still bound when a
+   despecialization pass was rolled back — so a builder that finds nothing to
+   match degrades to the generic pipelines instead of raising. *)
+let specs_or_empty f = try f () with Invalid_argument _ -> []
+
 let candidate_pipelines pid (op : Opdef.t) shape (serial : Kernel.t) =
   match pid with
   | Platform.Cuda | Platform.Hip -> (
     match op.Opdef.name with
-    | "gemm" | "batch_gemm" -> [ simt_matmul_specs shape; simt_specs serial; [] ]
-    | _ -> [ simt_specs serial; [] ])
+    | "gemm" | "batch_gemm" ->
+      [ simt_matmul_specs shape; specs_or_empty (fun () -> simt_specs serial); [] ]
+    | _ -> [ specs_or_empty (fun () -> simt_specs serial); [] ])
   | Platform.Bang -> (
-    let preferred = bang_specs op shape serial in
+    let preferred = specs_or_empty (fun () -> bang_specs op shape serial) in
     let bind_only =
       match serial.Kernel.body with
       | Stmt.Alloc _ :: Stmt.For r :: _ | Stmt.For r :: _ ->

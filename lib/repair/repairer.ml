@@ -10,8 +10,7 @@ type outcome =
   | Repaired of { kernel : Kernel.t; tests_run : int; site : string }
   | Gave_up of { reason : string; tests_run : int }
 
-let dedup xs =
-  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] xs
+let dedup = Xpiler_util.Listx.dedup
 
 (* constants visible in the program: the context Algorithm 3 harvests *)
 let context_constants (k : Kernel.t) =
@@ -26,18 +25,33 @@ let context_constants (k : Kernel.t) =
     [] k.Kernel.body
   |> dedup
 
-(* the statement a Param/Bound site refers to, for alignment constraints *)
+(* the statement a Param/Bound site refers to, for alignment constraints;
+   children are visited before their parent so match numbering agrees with
+   [Rewrite.rewrite_nth] (which selects on the post-order rebuild), and the
+   walk stops as soon as the nth match is found *)
 let nth_matching select nth (k : Kernel.t) =
-  let found = ref None in
+  let exception Found of Stmt.t in
   let count = ref (-1) in
-  ignore
-    (Rewrite.rewrite_nth nth select
-       (fun s ->
-         ignore count;
-         found := Some s;
-         s)
-       k.Kernel.body);
-  !found
+  let check s =
+    if select s then begin
+      incr count;
+      if !count = nth then raise (Found s)
+    end
+  in
+  let rec go_block b = List.iter go_stmt b
+  and go_stmt s =
+    (match s with
+    | Stmt.For r -> go_block r.body
+    | Stmt.If r ->
+      go_block r.then_;
+      go_block r.else_
+    | _ -> ());
+    check s
+  in
+  try
+    go_block k.Kernel.body;
+    None
+  with Found s -> Some s
 
 let candidate_values ~platform (k : Kernel.t) (site : Localize.site) =
   match site with

@@ -8,6 +8,17 @@ let take n xs =
   in
   go n xs
 
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
 let top_k ~k ~score xs =
   let scored = List.map (fun x -> (score x, x)) xs in
   (* stable: equal scores keep input order, so callers stay deterministic *)

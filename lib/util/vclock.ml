@@ -5,11 +5,12 @@ type stage =
   | Unit_test
   | Bug_localization
   | Smt_solving
+  | Symbolic_fallback
   | Auto_tuning
 
 let all_stages =
   [ Annotation; Llm_transform; Static_analysis; Unit_test; Bug_localization; Smt_solving;
-    Auto_tuning ]
+    Symbolic_fallback; Auto_tuning ]
 
 let stage_name = function
   | Annotation -> "annotation"
@@ -18,6 +19,7 @@ let stage_name = function
   | Unit_test -> "unit-test"
   | Bug_localization -> "bug-localization"
   | Smt_solving -> "smt-solving"
+  | Symbolic_fallback -> "symbolic-fallback"
   | Auto_tuning -> "auto-tuning"
 
 let stage_index = function
@@ -27,9 +29,10 @@ let stage_index = function
   | Unit_test -> 3
   | Bug_localization -> 4
   | Smt_solving -> 5
-  | Auto_tuning -> 6
+  | Symbolic_fallback -> 6
+  | Auto_tuning -> 7
 
-let n_stages = 7
+let n_stages = 8
 
 type t = {
   totals : float array;

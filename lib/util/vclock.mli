@@ -8,7 +8,9 @@
 type t
 
 (** Stage labels matching Figure 8's breakdown, plus [Static_analysis] for
-    the pre-validation analyzer (much cheaper than an interpreter run). *)
+    the pre-validation analyzer (much cheaper than an interpreter run) and
+    [Symbolic_fallback] for rewrite-only pass application on the escalation
+    ladder (no LLM in the loop, so it is charged separately). *)
 type stage =
   | Annotation
   | Llm_transform
@@ -16,6 +18,7 @@ type stage =
   | Unit_test
   | Bug_localization
   | Smt_solving
+  | Symbolic_fallback
   | Auto_tuning
 
 val stage_name : stage -> string
