@@ -1,0 +1,24 @@
+(* Shared tail for the bench executables: extract the headline numbers from
+   the BENCH_*.json just written, diff them against results/history.jsonl
+   (exact metrics only — wall-clock numbers would flake shared CI), append
+   the new entry, and fail the gate on a regression. The full-width check,
+   including wall-clock metrics, lives in `xpiler bench-diff`. *)
+
+module BH = Xpiler_obs.Bench_history
+
+let record_and_gate ~bench ~file =
+  match BH.of_bench_file ~bench file with
+  | Error m ->
+    Printf.eprintf "history: %s\n%!" m;
+    exit 1
+  | Ok entry ->
+    let entry = { entry with BH.time = Some (Unix.gettimeofday ()) } in
+    let regs = BH.record entry in
+    Printf.printf "history: appended %s headline metrics to %s\n%!" bench BH.default_path;
+    if regs <> [] then begin
+      List.iter
+        (fun (v : BH.verdict) ->
+          Printf.eprintf "HISTORY REGRESSION %s/%s: %s\n%!" bench v.BH.metric v.BH.detail)
+        regs;
+      exit 1
+    end

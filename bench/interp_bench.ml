@@ -177,4 +177,5 @@ let () =
      \"deterministic\": true}\n}\n"
     sims cores t1 t4 (t1 /. t4);
   close_out oc;
-  Printf.printf "wrote BENCH_eval.json\n%!"
+  Printf.printf "wrote BENCH_eval.json\n%!";
+  History_gate.record_and_gate ~bench:"eval" ~file:"BENCH_eval.json"

@@ -1,0 +1,64 @@
+(* Overhead gate for the metrics registry.
+
+   The registry instruments the default translation path (compile cache, LLM
+   attempts, escalation counters), so it runs even with tracing off — the
+   production configuration. This gate asserts that the instrumentation adds
+   less than 2% wall time to a translate with [trace_level = Off], comparing
+   registry-enabled against registry-disabled batches.
+
+   Both arms run identical deterministic work (same seeds), and we take the
+   minimum over several alternating batches — the standard defence against
+   scheduler noise — plus a small absolute slack so a sub-millisecond
+   workload cannot fail on timer jitter.
+
+   Usage:
+     dune exec bench/metrics_bench.exe            # full measurement
+     dune exec bench/metrics_bench.exe -- --smoke # seconds-long sanity run *)
+
+open Xpiler_machine
+open Xpiler_ops
+open Xpiler_core
+module Metrics = Xpiler_obs.Metrics
+
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
+
+let op =
+  match Registry.find "softmax" with Some op -> op | None -> failwith "softmax not registered"
+
+let shape = List.hd op.Opdef.shapes
+
+let translate_once seed =
+  let config = Config.with_seed Config.default seed in
+  ignore (Xpiler.transcompile ~config ~src:Platform.Cuda ~dst:Platform.Bang ~op ~shape ())
+
+let batch n =
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    translate_once (1000 + i)
+  done;
+  Unix.gettimeofday () -. t0
+
+let () =
+  let n = if smoke then 4 else 8 in
+  let k = if smoke then 4 else 5 in
+  (* warm-up: fill the compile cache and JIT both paths so the measured
+     batches see steady state *)
+  ignore (batch n);
+  let t_on = ref infinity and t_off = ref infinity in
+  for _ = 1 to k do
+    Metrics.set_enabled true;
+    t_on := Float.min !t_on (batch n);
+    Metrics.set_enabled false;
+    t_off := Float.min !t_off (batch n)
+  done;
+  Metrics.set_enabled true;
+  let overhead_pct = if !t_off > 0.0 then 100.0 *. ((!t_on /. !t_off) -. 1.0) else 0.0 in
+  Printf.printf "metrics overhead: enabled %.4fs, disabled %.4fs (%+.2f%%, min of %d batches of %d)\n%!"
+    !t_on !t_off overhead_pct k n;
+  (* <2% relative, with 10ms absolute slack against timer jitter *)
+  if !t_on > (!t_off *. 1.02) +. 0.010 then begin
+    Printf.eprintf
+      "GATE FAILED: metrics registry adds %.2f%% wall time to an untraced translate (budget 2%%)\n%!"
+      overhead_pct;
+    exit 1
+  end

@@ -132,4 +132,5 @@ let () =
        seed pipeline (seed %d, ladder %d)\n%!"
       seed_broken ladder_broken;
     exit 1
-  end
+  end;
+  History_gate.record_and_gate ~bench:"resilience" ~file:"BENCH_resilience.json"

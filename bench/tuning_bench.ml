@@ -196,4 +196,5 @@ let () =
   close_out oc;
   Printf.printf "wrote BENCH_tuning.json\n%!";
   if List.exists (fun r -> r.tuned_best < r.target || not r.prune_lossless) rows then
-    exit 1
+    exit 1;
+  History_gate.record_and_gate ~bench:"tuning" ~file:"BENCH_tuning.json"

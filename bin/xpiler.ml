@@ -320,6 +320,173 @@ let trace_cmd =
   in
   Cmd.v info Term.(const trace_replay $ journal_pos $ chrome_opt)
 
+(* ---- metrics ----------------------------------------------------------------- *)
+
+(* run a translation with the registry and the wall-clock profiler on, then
+   print the registry snapshot and wall-vs-virtual stage tables; tuning is on
+   by default so the cache/transposition meters have something to show *)
+let metrics_run op_name shape src dst no_tune seed jobs fault_scale openmetrics_out json_out =
+  let op = find_op op_name in
+  let shape = parse_shape op shape in
+  let config =
+    let base = if no_tune then Config.default else Config.tuned in
+    let base = Config.with_seed base seed in
+    let base = Config.with_jobs base jobs in
+    let base = Config.with_fault_scale base fault_scale in
+    (* root-parallel search batches share the transposition table, which is
+       what makes its hit/miss meters informative in a single run *)
+    let mcts = { base.Config.mcts with Xpiler_tuning.Mcts.root_parallel = 4 } in
+    { base with Config.profile = true; mcts }
+  in
+  Xpiler_obs.Metrics.reset ();
+  Xpiler_obs.Prof.reset ();
+  let o = Xpiler.transcompile ~config ~src ~dst ~op ~shape () in
+  Printf.printf "// %s: %s -> %s, status: %s%s\n\n" op.Opdef.name (Platform.id_to_string src)
+    (Platform.id_to_string dst)
+    (Xpiler.status_to_string o.Xpiler.status)
+    (if no_tune then "" else " (tuned)");
+  let samples = Xpiler_obs.Metrics.snapshot () in
+  print_string (Obs_report.render_metrics samples);
+  let prof = Xpiler_obs.Prof.report () in
+  print_string (Obs_report.render_prof prof);
+  (match openmetrics_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Xpiler_obs.Metrics.to_openmetrics samples);
+    close_out oc;
+    Printf.printf "wrote OpenMetrics text to %s\n" path);
+  match json_out with
+  | None -> ()
+  | Some path ->
+    let j =
+      Xpiler_obs.Json.Obj
+        [ ("metrics", Xpiler_obs.Metrics.to_json samples);
+          ("profile", Xpiler_obs.Prof.to_json prof) ]
+    in
+    let oc = open_out path in
+    output_string oc (Xpiler_obs.Json.to_string j);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote metrics JSON to %s\n" path
+
+let metrics_cmd =
+  let info =
+    Cmd.info "metrics"
+      ~doc:
+        "Translate (with auto-tuning unless --no-tune) and print the metrics-registry \
+         snapshot — cache hit rates, escalation rungs, SMT steps, pool usage — plus \
+         wall-vs-virtual time per stage from the profiler."
+  in
+  let no_tune_flag =
+    let doc = "Skip auto-tuning (the tuner is on by default here, unlike `translate`)." in
+    Arg.(value & flag & info [ "no-tune" ] ~doc)
+  in
+  let openmetrics_opt =
+    let doc = "Export the snapshot in OpenMetrics/Prometheus text format to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+  in
+  let json_opt =
+    let doc = "Export the snapshot and profiler report as a self-contained JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v info
+    Term.(
+      const metrics_run $ op_arg $ shape_arg $ src_arg $ dst_arg $ no_tune_flag $ seed_arg
+      $ jobs_arg $ fault_scale_arg $ openmetrics_opt $ json_opt)
+
+(* ---- bench-diff -------------------------------------------------------------- *)
+
+let bench_diff history eval_file tuning_file resilience_file threshold exact_only =
+  let module BH = Xpiler_obs.Bench_history in
+  let hist =
+    match BH.load ~path:history () with
+    | Ok h -> h
+    | Error m ->
+      Printf.eprintf "bench-diff: %s\n" m;
+      exit 2
+  in
+  let regressions = ref 0 in
+  let seen = ref 0 in
+  let check bench path =
+    if Sys.file_exists path then begin
+      incr seen;
+      match BH.of_bench_file ~bench path with
+      | Error m ->
+        Printf.eprintf "bench-diff: %s\n" m;
+        exit 2
+      | Ok entry ->
+        Printf.printf "%s (%s%s):\n" path bench (if entry.BH.smoke then ", smoke" else "");
+        let verdicts = BH.diff ~threshold_scale:threshold ~exact_only ~history:hist entry in
+        if verdicts = [] then Printf.printf "  no spec'd metrics\n"
+        else
+          List.iter
+            (fun (v : BH.verdict) ->
+              if v.BH.regressed then incr regressions;
+              Printf.printf "  %s %-24s %s\n"
+                (if v.BH.regressed then "REGRESSION" else "ok        ")
+                v.BH.metric v.BH.detail)
+            verdicts
+    end
+  in
+  check "eval" eval_file;
+  check "tuning" tuning_file;
+  check "resilience" resilience_file;
+  if !seen = 0 then begin
+    Printf.eprintf "bench-diff: no BENCH_*.json found (looked for %s, %s, %s)\n" eval_file
+      tuning_file resilience_file;
+    exit 2
+  end;
+  if !regressions > 0 then begin
+    Printf.printf "%d regression(s) against %s (%d history entries)\n" !regressions history
+      (List.length hist);
+    exit 1
+  end
+  else Printf.printf "no regressions against %s (%d history entries)\n" history (List.length hist)
+
+let bench_diff_cmd =
+  let info =
+    Cmd.info "bench-diff"
+      ~doc:
+        "Compare current BENCH_eval.json / BENCH_tuning.json / BENCH_resilience.json \
+         headline numbers against results/history.jsonl and fail (exit 1) on \
+         regressions beyond the per-metric thresholds."
+  in
+  let history_opt =
+    let doc = "History file (JSONL, appended by the bench executables)." in
+    Arg.(value & opt string "results/history.jsonl" & info [ "history" ] ~docv:"FILE" ~doc)
+  in
+  let eval_opt =
+    let doc = "Evaluation-engine bench report." in
+    Arg.(value & opt string "BENCH_eval.json" & info [ "eval" ] ~docv:"FILE" ~doc)
+  in
+  let tuning_opt =
+    let doc = "Auto-tuner bench report." in
+    Arg.(value & opt string "BENCH_tuning.json" & info [ "tuning" ] ~docv:"FILE" ~doc)
+  in
+  let resilience_opt =
+    let doc = "Resilience bench report." in
+    Arg.(value & opt string "BENCH_resilience.json" & info [ "resilience" ] ~docv:"FILE" ~doc)
+  in
+  let threshold_opt =
+    let doc =
+      "Scale factor on every per-metric regression threshold (2.0 = twice as tolerant, \
+       0.5 = twice as strict)."
+    in
+    Arg.(value & opt float 1.0 & info [ "threshold" ] ~docv:"SCALE" ~doc)
+  in
+  let exact_only_flag =
+    let doc =
+      "Check only deterministic (schedule- and wall-clock-independent) metrics, as the \
+       bench smoke gates do; wall-clock throughputs are skipped."
+    in
+    Arg.(value & flag & info [ "exact-only" ] ~doc)
+  in
+  Cmd.v info
+    Term.(
+      const bench_diff $ history_opt $ eval_opt $ tuning_opt $ resilience_opt $ threshold_opt
+      $ exact_only_flag)
+
 (* ---- manual ------------------------------------------------------------------ *)
 
 let manual platform query =
@@ -340,4 +507,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ translate_cmd; show_source_cmd; list_ops_cmd; lint_cmd; trace_cmd; manual_cmd ]))
+          [ translate_cmd; show_source_cmd; list_ops_cmd; lint_cmd; trace_cmd; metrics_cmd;
+            bench_diff_cmd; manual_cmd ]))

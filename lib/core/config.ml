@@ -45,6 +45,7 @@ type t = {
   jobs : int;
   trace_level : Xpiler_obs.Tracer.level;
   trace_sink : string option;
+  profile : bool;
 }
 
 let default =
@@ -64,7 +65,8 @@ let default =
     unit_test_trials = 2;
     jobs = 1;
     trace_level = Xpiler_obs.Tracer.Off;
-    trace_sink = None
+    trace_sink = None;
+    profile = false
   }
 
 (* the pre-resilience pipeline: SMT repair only, a Gave_up commits the broken

@@ -58,6 +58,10 @@ type t = {
   trace_sink : string option;
       (** When set (and [trace_level <> Off]), the JSONL journal is also
           written to this path at the end of the translation. *)
+  profile : bool;
+      (** Bracket the translation with the wall-clock + allocation profiler
+          ([Obs.Prof]). Non-deterministic by nature and fully segregated
+          from the trace stream: journals stay byte-identical either way. *)
 }
 
 val default : t

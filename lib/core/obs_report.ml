@@ -50,3 +50,92 @@ let tables s =
 let render s = String.concat "\n" (List.map Report.render (tables s))
 
 let render_events events = render (Summary.of_events events)
+
+(* ---- registry snapshots -------------------------------------------------- *)
+
+module Metrics = Xpiler_obs.Metrics
+module Prof = Xpiler_obs.Prof
+
+let sample_label (s : Metrics.sample) =
+  match s.Metrics.labels with
+  | [] -> s.Metrics.name
+  | ls ->
+    s.Metrics.name ^ "{" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) ls) ^ "}"
+
+let metrics_tables samples =
+  let counters =
+    List.filter_map
+      (fun s ->
+        match s.Metrics.value with
+        | Metrics.Vcounter n -> Some (sample_label s, [ Report.Count n ])
+        | _ -> None)
+      samples
+  in
+  let gauges =
+    List.filter_map
+      (fun s ->
+        match s.Metrics.value with
+        | Metrics.Vgauge v -> Some (sample_label s, [ Report.Num v ])
+        | _ -> None)
+      samples
+  in
+  let hists =
+    List.filter_map
+      (fun s ->
+        match s.Metrics.value with
+        | Metrics.Vhist h ->
+          let mean = if h.Metrics.count > 0 then h.Metrics.sum /. float_of_int h.Metrics.count else 0.0 in
+          Some
+            ( sample_label s,
+              [ Report.Count h.Metrics.count; Report.Num h.Metrics.hmin; Report.Num mean;
+                Report.Num (Metrics.hist_quantile h 0.5); Report.Num (Metrics.hist_quantile h 0.99);
+                Report.Num h.Metrics.hmax ] )
+        | _ -> None)
+      samples
+  in
+  List.filter_map
+    (fun (title, cols, rows) -> if rows = [] then None else Some (Report.make ~title ~cols rows))
+    [ ("Metric counters", [ "total" ], counters);
+      ("Metric gauges", [ "value" ], gauges);
+      ("Metric histograms", [ "n"; "min"; "mean"; "p50"; "p99"; "max" ], hists) ]
+
+let render_metrics samples = String.concat "\n" (List.map Report.render (metrics_tables samples))
+
+(* ---- profiler reports ---------------------------------------------------- *)
+
+let prof_tables (r : Prof.report) =
+  let stage_rows =
+    List.map
+      (fun (s : Prof.stage_row) ->
+        let ratio = if s.Prof.virtual_s > 0.0 then s.Prof.wall_s /. s.Prof.virtual_s else 0.0 in
+        ( s.Prof.stage,
+          [ Report.Count s.Prof.charges; Report.Num s.Prof.virtual_s; Report.Num s.Prof.wall_s;
+            Report.Ratio ratio ] ))
+      r.Prof.stage_rows
+  in
+  let stage_rows =
+    if stage_rows = [] then []
+    else begin
+      let tv = List.fold_left (fun a (s : Prof.stage_row) -> a +. s.Prof.virtual_s) 0.0 r.Prof.stage_rows in
+      let tw = List.fold_left (fun a (s : Prof.stage_row) -> a +. s.Prof.wall_s) 0.0 r.Prof.stage_rows in
+      let tc = List.fold_left (fun a (s : Prof.stage_row) -> a + s.Prof.charges) 0 r.Prof.stage_rows in
+      stage_rows
+      @ [ ( "total",
+            [ Report.Count tc; Report.Num tv; Report.Num tw;
+              Report.Ratio (if tv > 0.0 then tw /. tv else 0.0) ] ) ]
+    end
+  in
+  let span_rows =
+    List.map
+      (fun (s : Prof.span_row) ->
+        ( s.Prof.span,
+          [ Report.Count s.Prof.count; Report.Num s.Prof.wall_s;
+            Report.Num (s.Prof.alloc_words /. 1e6); Report.Count s.Prof.majors ] ))
+      r.Prof.span_rows
+  in
+  List.filter_map
+    (fun (title, cols, rows) -> if rows = [] then None else Some (Report.make ~title ~cols rows))
+    [ ("Wall vs virtual time per stage", [ "charges"; "virtual s"; "wall s"; "wall/virtual" ], stage_rows);
+      ("Profiled spans (wall clock)", [ "count"; "wall s"; "alloc Mw"; "majors" ], span_rows) ]
+
+let render_prof r = String.concat "\n" (List.map Report.render (prof_tables r))

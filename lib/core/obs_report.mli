@@ -14,3 +14,15 @@ val render : Xpiler_obs.Summary.t -> string
 (** All tables concatenated, ready to print. *)
 
 val render_events : Xpiler_obs.Event.t list -> string
+
+val metrics_tables : Xpiler_obs.Metrics.sample list -> Report.t list
+(** Registry snapshot rendered as counter / gauge / histogram tables
+    (histograms get bucket-estimated p50/p99); empty sections omitted. *)
+
+val render_metrics : Xpiler_obs.Metrics.sample list -> string
+
+val prof_tables : Xpiler_obs.Prof.report -> Report.t list
+(** Wall-vs-virtual seconds per stage (with the wall/virtual ratio) and
+    profiled span costs (wall seconds, allocated megawords, major GCs). *)
+
+val render_prof : Xpiler_obs.Prof.report -> string

@@ -31,6 +31,45 @@ let status_to_string = function
   | Compile_error m -> "compile error: " ^ m
   | Computation_error m -> "computation error: " ^ m
 
+(* label-safe status class: the error message is unbounded-cardinality, the
+   class is not *)
+let status_class = function
+  | Success -> "success"
+  | Degraded -> "degraded"
+  | Compile_error _ -> "compile-error"
+  | Computation_error _ -> "computation-error"
+
+(* Stable registry metrics: everything below is counted on the master domain
+   and is a pure function of workload, configuration and seed. Escalation
+   counters are pre-registered at zero for every rung so `xpiler metrics`
+   always shows the full ladder. *)
+let m_escalation =
+  let mk rung =
+    ( rung,
+      Obs.Metrics.counter ~help:"passes whose escalation ended at this rung"
+        ~labels:[ ("rung", Ledger.rung_name rung) ] "xpiler_escalations_total" )
+  in
+  List.map mk [ Ledger.Validate; Ledger.Reprompt; Ledger.Smt; Ledger.Symbolic; Ledger.Skip ]
+
+let m_escalation_for rung = List.assq rung m_escalation
+
+let m_pass =
+  let mk result =
+    ( result,
+      Obs.Metrics.counter ~help:"pass applications by outcome" ~labels:[ ("result", result) ]
+        "xpiler_passes_total" )
+  in
+  List.map mk [ "applied"; "inapplicable"; "broken"; "skipped" ]
+
+let m_pass_for result = List.assoc result m_pass
+
+let m_translation status =
+  Obs.Metrics.counter ~help:"translations by final status" ~labels:[ ("status", status) ]
+    "xpiler_translations_total"
+
+let m_translations =
+  List.map (fun s -> (s, m_translation s)) [ "success"; "degraded"; "compile-error"; "computation-error" ]
+
 let accepted = function Success | Degraded -> true | Compile_error _ | Computation_error _ -> false
 
 let strip_annots (k : Kernel.t) =
@@ -114,14 +153,28 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
       | None -> Obs.Trace.uninstall ()
     end
   in
+  (* optional wall-clock profiling: enabled for the duration of this
+     translation; its stream never touches the tracer, so journals stay
+     byte-identical with profiling on or off *)
+  let prof_on = config.Config.profile in
+  if prof_on then Obs.Prof.enable ();
+  let observe_stage stage s =
+    if prof_on then Obs.Prof.stage_charge (Vclock.stage_name stage) s
+  in
   (match tracer with
   | Some t ->
     if owns_tracer then Obs.Trace.install t;
     Vclock.set_observer clock (fun stage s ->
-        Obs.Tracer.stage_charge t (Vclock.stage_name stage) s)
-  | None -> ());
-  (* whatever happens below, never leak our tracer into the caller *)
-  Fun.protect ~finally:restore_ambient @@ fun () ->
+        Obs.Tracer.stage_charge t (Vclock.stage_name stage) s;
+        observe_stage stage s)
+  | None -> if prof_on then Vclock.set_observer clock observe_stage);
+  (* whatever happens below, never leak our tracer (or a running profiler)
+     into the caller *)
+  Fun.protect
+    ~finally:(fun () ->
+      restore_ambient ();
+      if prof_on then Obs.Prof.disable ())
+  @@ fun () ->
   let root_span =
     Option.map
       (fun t ->
@@ -138,6 +191,7 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
   in
   (* seal the trace and restore the caller's tracing state *)
   let finish_trace outcome =
+    Obs.Metrics.inc (List.assoc (status_class outcome.status) m_translations);
     (match tracer with
     | Some t ->
       Obs.Tracer.instant t
@@ -145,7 +199,8 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
         "translate.status";
       (match root_span with Some s -> Obs.Tracer.span_end t s | None -> ());
       Vclock.clear_observer clock
-    | None -> ());
+    | None -> if prof_on then Vclock.clear_observer clock);
+    if prof_on then Obs.Prof.disable ();
     restore_ambient ();
     match (owns_tracer, tracer) with
     | true, Some t ->
@@ -255,6 +310,7 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
         }
       in
       st.ledger_rev <- entry :: st.ledger_rev;
+      Obs.Metrics.inc (m_escalation_for !rung);
       Obs.Trace.instant ~attrs:(Ledger.trace_attrs entry) "pass.ledger";
       pass_result
     in
@@ -374,12 +430,15 @@ let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
   let run_pass spec =
     Obs.Trace.span ~cat:"pass" (Pass.describe spec) (fun () ->
         let r = run_pass_untraced spec in
-        Obs.Trace.count
-          (match r with
-          | Applied -> "pass.applied"
-          | Inapplicable _ -> "pass.inapplicable"
-          | Broken -> "pass.broken"
-          | Skipped -> "pass.skipped");
+        let cls =
+          match r with
+          | Applied -> "applied"
+          | Inapplicable _ -> "inapplicable"
+          | Broken -> "broken"
+          | Skipped -> "skipped"
+        in
+        Obs.Metrics.inc (m_pass_for cls);
+        Obs.Trace.count ("pass." ^ cls);
         r)
   in
   (* phase 1: sequentialize when the source is parallel *)

@@ -1042,12 +1042,32 @@ let cache : t KTbl.t = KTbl.create 64
 let cache_mutex = Mutex.create ()
 let cache_limit = 4096
 
+module Metrics = Xpiler_obs.Metrics
+
+(* Stable: [cached] is called from the master domain's unit-test path, so
+   hit/miss counts are a pure function of the workload. *)
+let m_cache_hits =
+  Metrics.counter ~help:"compile cache lookups by result" ~labels:[ ("result", "hit") ]
+    "xpiler_compile_cache_lookups_total"
+
+let m_cache_misses =
+  Metrics.counter ~labels:[ ("result", "miss") ] "xpiler_compile_cache_lookups_total"
+
+let m_cache_resets =
+  Metrics.counter ~help:"full cache resets under capacity pressure" "xpiler_compile_cache_resets_total"
+
 let cached k =
   Mutex.protect cache_mutex (fun () ->
       match KTbl.find_opt cache k with
-      | Some c -> c
+      | Some c ->
+        Metrics.inc m_cache_hits;
+        c
       | None ->
-        if KTbl.length cache >= cache_limit then KTbl.reset cache;
+        Metrics.inc m_cache_misses;
+        if KTbl.length cache >= cache_limit then begin
+          Metrics.inc m_cache_resets;
+          KTbl.reset cache
+        end;
         let c = compile k in
         KTbl.add cache k c;
         c)

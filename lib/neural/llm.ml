@@ -3,6 +3,7 @@ open Xpiler_machine
 module Rng = Xpiler_util.Rng
 module Vclock = Xpiler_util.Vclock
 module Trace = Xpiler_obs.Trace
+module Metrics = Xpiler_obs.Metrics
 module Pass = Xpiler_passes.Pass
 
 type t = { rng : Rng.t; clock : Vclock.t option }
@@ -25,6 +26,15 @@ let llm_call_seconds kernel =
   90.0 +. (float_of_int stmts *. 8.0)
 
 let severity_name = function Fault.Structural -> "structural" | Fault.Detail -> "detail"
+
+(* Stable: the simulated LLM runs on the master domain; attempt and garbage
+   counts are a pure function of workload and seed. *)
+let m_attempts =
+  Metrics.counter ~help:"simulated LLM calls (translate + pass application)"
+    "xpiler_llm_attempts_total"
+
+let m_garbage =
+  Metrics.counter ~help:"LLM responses discarded as garbage" "xpiler_llm_garbage_total"
 
 let record_faults faults =
   List.iter
@@ -74,9 +84,11 @@ let translate_program t ~profile ~src ~dst ~op ~shape =
   let target = Platform.of_id dst in
   (* the ground-truth sketch: the idiomatic target program *)
   let truth = Xpiler_ops.Idiom.source dst op shape in
+  Metrics.inc m_attempts;
   Trace.count "llm.attempts";
   charge t Vclock.Llm_transform (llm_call_seconds truth);
   if Rng.bernoulli t.rng p.Profile.gives_up then begin
+    Metrics.inc m_garbage;
     Trace.count "llm.garbage";
     Garbage
   end
@@ -89,6 +101,7 @@ let apply_pass t ~profile ~target ?prompt spec kernel =
   match Pass.apply ~platform:target spec kernel with
   | Error m -> Error m
   | Ok transformed ->
+    Metrics.inc m_attempts;
     Trace.count "llm.attempts";
     charge t Vclock.Llm_transform (llm_call_seconds transformed);
     (* a richer prompt (manual references present) reduces fault rates *)

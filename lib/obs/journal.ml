@@ -21,12 +21,34 @@ let decode text =
   in
   go 1 [] lines
 
-let write_gen flags path events =
-  let oc = open_out_gen flags 0o644 path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (encode events))
+(* Buffered sink: one open channel for the whole journaling session instead
+   of an open/write/close cycle per append. The one-shot functions below are
+   wrappers over a short-lived sink. *)
+type sink = { oc : out_channel; mutable closed : bool }
 
-let write_file path events = write_gen [ Open_wronly; Open_creat; Open_trunc ] path events
-let append_file path events = write_gen [ Open_wronly; Open_creat; Open_append ] path events
+let open_sink ?(append = false) path =
+  let flags =
+    if append then [ Open_wronly; Open_creat; Open_append ]
+    else [ Open_wronly; Open_creat; Open_trunc ]
+  in
+  { oc = open_out_gen flags 0o644 path; closed = false }
+
+let emit sink events =
+  if sink.closed then invalid_arg "Journal.emit: sink is closed";
+  output_string sink.oc (encode events)
+
+let close sink =
+  if not sink.closed then begin
+    sink.closed <- true;
+    close_out sink.oc
+  end
+
+let write_gen ~append path events =
+  let sink = open_sink ~append path in
+  Fun.protect ~finally:(fun () -> close sink) (fun () -> emit sink events)
+
+let write_file path events = write_gen ~append:false path events
+let append_file path events = write_gen ~append:true path events
 
 let read_file path =
   match

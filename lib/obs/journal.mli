@@ -16,3 +16,22 @@ val decode : string -> (Event.t list, string) result
 val write_file : string -> Event.t list -> unit
 val append_file : string -> Event.t list -> unit
 val read_file : string -> (Event.t list, string) result
+
+(** {2 Buffered sink}
+
+    Incremental journaling (the bench harness appends one batch per
+    experiment) previously re-opened the file on every [append_file] call;
+    a sink keeps one buffered channel open instead. [write_file] /
+    [append_file] remain as one-shot wrappers. *)
+
+type sink
+
+val open_sink : ?append:bool -> string -> sink
+(** Opens (truncating unless [~append:true]) for writing. *)
+
+val emit : sink -> Event.t list -> unit
+(** Appends the encoded events to the sink's buffer; raises
+    [Invalid_argument] on a closed sink. *)
+
+val close : sink -> unit
+(** Flushes and closes; idempotent. *)

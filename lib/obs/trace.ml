@@ -14,7 +14,10 @@ let without f =
     Domain.DLS.set active None;
     Fun.protect ~finally:(fun () -> Domain.DLS.set active (Some t)) f
 
+(* When the profiler is on, the same span marks feed it — but through its own
+   wall-clock stream, never through the tracer's deterministic one. *)
 let span ?cat ?attrs name f =
+  let f = if Prof.is_enabled () then fun () -> Prof.span name f else f in
   match Domain.DLS.get active with
   | None -> f ()
   | Some t -> Tracer.with_span t ?cat ?attrs name f

@@ -29,7 +29,9 @@ val enabled : unit -> bool
 
 val span : ?cat:string -> ?attrs:Event.attrs -> string -> (unit -> 'a) -> 'a
 (** Runs the function inside a span on the current tracer; just runs it
-    when tracing is off. *)
+    when tracing is off. While {!Prof.is_enabled}, the same span also feeds
+    the wall-clock profiler — via its segregated stream, so the tracer's
+    event sequence is unchanged. *)
 
 val count : ?n:int -> string -> unit
 val observe : string -> float -> unit

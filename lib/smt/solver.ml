@@ -76,8 +76,26 @@ let search ?(max_steps = 2_000_000) problem ~on_model =
   (found, !timeout, { steps = !steps; evals = !evals })
 
 module Trace = Xpiler_obs.Trace
+module Metrics = Xpiler_obs.Metrics
+
+(* Stable: the solver runs on the master domain inside the escalation
+   ladder, so query counts and step distributions are workload-determined. *)
+let m_queries verdict =
+  Metrics.counter ~help:"SMT queries by verdict" ~labels:[ ("verdict", verdict) ]
+    "xpiler_smt_queries_total"
+
+let m_sat = m_queries "sat"
+let m_unsat = m_queries "unsat"
+let m_timeout = m_queries "timeout"
+
+let m_steps =
+  Metrics.histogram ~help:"search steps per SMT query"
+    ~bounds:[| 1.0; 10.0; 100.0; 1000.0; 10000.0; 100000.0 |] "xpiler_smt_steps"
 
 let record_query (stats : stats) verdict =
+  Metrics.inc
+    (match verdict with "sat" -> m_sat | "unsat" -> m_unsat | _ -> m_timeout);
+  Metrics.observe m_steps (float_of_int stats.steps);
   Trace.count "smt.queries";
   Trace.count ("smt." ^ verdict);
   Trace.observe "smt.steps" (float_of_int stats.steps)

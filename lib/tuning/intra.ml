@@ -4,6 +4,21 @@ module Vclock = Xpiler_util.Vclock
 module Pool = Xpiler_util.Pool
 module Listx = Xpiler_util.Listx
 module Trace = Xpiler_obs.Trace
+module Metrics = Xpiler_obs.Metrics
+
+(* Unstable: memo lookups race between pool worker domains, so hit/miss
+   splits are schedule-dependent (values never are). *)
+let memo_metrics table =
+  let lbl = [ ("table", table) ] in
+  ( Metrics.counter ~stable:false ~help:"intra memo lookups by table and result"
+      ~labels:(("result", "hit") :: lbl) "xpiler_intra_memo_lookups_total",
+    Metrics.counter ~stable:false ~labels:(("result", "miss") :: lbl)
+      "xpiler_intra_memo_lookups_total",
+    Metrics.counter ~stable:false ~help:"intra memo entries dropped by capacity eviction"
+      ~labels:lbl "xpiler_intra_memo_evictions_total" )
+
+let compile_metrics = memo_metrics "compile"
+let throughput_metrics = memo_metrics "throughput"
 
 type variant = { specs : Pass.spec list; kernel : Xpiler_ir.Kernel.t; throughput : float }
 type stats = { evaluated : int; pruned : int }
@@ -87,10 +102,13 @@ let evict_half_locked tbl =
 
 (* compute runs outside the lock: a concurrent duplicate costs time, never
    correctness *)
-let memoized tbl compute key =
+let memoized tbl (m_hit, m_miss, m_evict) compute key =
   match Mutex.protect memo_mutex (fun () -> PTbl.find_opt tbl key) with
-  | Some v -> v
+  | Some v ->
+    Metrics.inc m_hit;
+    v
   | None ->
+    Metrics.inc m_miss;
     let v = compute () in
     let dropped =
       Mutex.protect memo_mutex (fun () ->
@@ -98,16 +116,19 @@ let memoized tbl compute key =
           PTbl.replace tbl key v;
           dropped)
     in
-    if dropped > 0 then Trace.count ~n:dropped "intra.memo_evictions";
+    if dropped > 0 then begin
+      Metrics.inc ~n:dropped m_evict;
+      Trace.count ~n:dropped "intra.memo_evictions"
+    end;
     v
 
 let compiles platform k =
-  memoized compile_memo
+  memoized compile_memo compile_metrics
     (fun () -> Result.is_ok (Checker.compile platform k))
     (platform.Platform.id, k)
 
 let modelled_throughput platform k =
-  memoized throughput_memo
+  memoized throughput_memo throughput_metrics
     (fun () -> Costmodel.throughput platform k ~shapes:[])
     (platform.Platform.id, k)
 

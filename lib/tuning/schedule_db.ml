@@ -15,6 +15,16 @@
 open Xpiler_ir
 open Xpiler_machine
 module Pass = Xpiler_passes.Pass
+module Metrics = Xpiler_obs.Metrics
+
+(* Stable: lookups and records happen on the master domain, once per search,
+   so the counts are a pure function of the workload. *)
+let m_hits =
+  Metrics.counter ~help:"schedule DB warm-start lookups by result" ~labels:[ ("result", "hit") ]
+    "xpiler_schedule_db_lookups_total"
+
+let m_misses = Metrics.counter ~labels:[ ("result", "miss") ] "xpiler_schedule_db_lookups_total"
+let m_records = Metrics.counter ~help:"schedule DB entries recorded" "xpiler_schedule_db_records_total"
 
 type entry = { specs : Pass.spec list; reward : float }
 type t = { mutex : Mutex.t; tbl : (int, entry) Hashtbl.t }
@@ -75,13 +85,19 @@ let signature (platform : Platform.id) (k : Kernel.t) =
   sig_block h k.Kernel.body
 
 let lookup t platform k =
-  Mutex.protect t.mutex (fun () ->
-      Option.map (fun e -> e.specs) (Hashtbl.find_opt t.tbl (signature platform k)))
+  let r =
+    Mutex.protect t.mutex (fun () ->
+        Option.map (fun e -> e.specs) (Hashtbl.find_opt t.tbl (signature platform k)))
+  in
+  Metrics.inc (match r with Some _ -> m_hits | None -> m_misses);
+  r
 
 let record t platform k ~specs ~reward =
-  if specs <> [] && reward > 0.0 then
+  if specs <> [] && reward > 0.0 then begin
+    Metrics.inc m_records;
     Mutex.protect t.mutex (fun () ->
         Hashtbl.replace t.tbl (signature platform k) { specs; reward })
+  end
 
 let size t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.tbl)
 let clear t = Mutex.protect t.mutex (fun () -> Hashtbl.reset t.tbl)

@@ -17,6 +17,29 @@
 
 open Xpiler_machine
 module Trace = Xpiler_obs.Trace
+module Metrics = Xpiler_obs.Metrics
+
+(* Registry metrics are unstable: lookups run inside pooled worker domains,
+   so which searcher sees a hit vs. a miss depends on the schedule. The
+   deterministic view of the same activity is the receipt-replayed trace
+   counter stream. *)
+let m_hits =
+  Metrics.counter ~stable:false ~help:"transposition table lookups by result"
+    ~labels:[ ("result", "hit") ] "xpiler_transposition_lookups_total"
+
+let m_misses =
+  Metrics.counter ~stable:false ~labels:[ ("result", "miss") ] "xpiler_transposition_lookups_total"
+
+let m_evals =
+  Metrics.counter ~stable:false ~help:"fresh reward evaluations (sharing on or off)"
+    "xpiler_transposition_evals_total"
+
+let m_evictions =
+  Metrics.counter ~stable:false ~help:"entries dropped by capacity eviction"
+    "xpiler_transposition_evictions_total"
+
+let m_entries =
+  Metrics.gauge ~stable:false ~help:"live transposition table entries" "xpiler_transposition_entries"
 
 type entry = {
   reward : float;  (** best intra-tuned throughput; 0 for non-compiling states *)
@@ -69,9 +92,11 @@ let find ~platform ~budget ~prune ~compose kernel =
       match KTbl.find_opt table (key ~platform ~budget ~prune ~compose kernel) with
       | Some e ->
         incr hit_count;
+        Metrics.inc m_hits;
         Some e
       | None ->
         incr miss_count;
+        Metrics.inc m_misses;
         None)
 
 (* evict half (arbitrary members; the table records no recency) rather than
@@ -90,15 +115,21 @@ let evict_half_locked () =
   !dropped
 
 let store ~platform ~budget ~prune ~compose kernel entry =
-  let dropped =
+  let dropped, entries =
     Mutex.protect mutex (fun () ->
         let dropped = if KTbl.length table >= capacity then evict_half_locked () else 0 in
         KTbl.replace table (key ~platform ~budget ~prune ~compose kernel) entry;
-        dropped)
+        (dropped, KTbl.length table))
   in
-  if dropped > 0 then Trace.count ~n:dropped "mcts.tt_evictions"
+  Metrics.set m_entries (float_of_int entries);
+  if dropped > 0 then begin
+    Metrics.inc ~n:dropped m_evictions;
+    Trace.count ~n:dropped "mcts.tt_evictions"
+  end
 
-let count_eval () = Mutex.protect mutex (fun () -> incr eval_count)
+let count_eval () =
+  Metrics.inc m_evals;
+  Mutex.protect mutex (fun () -> incr eval_count)
 let size () = Mutex.protect mutex (fun () -> KTbl.length table)
 let hits () = Mutex.protect mutex (fun () -> !hit_count)
 let misses () = Mutex.protect mutex (fun () -> !miss_count)
@@ -111,6 +142,7 @@ let reset_stats () =
       eval_count := 0)
 
 let clear () =
+  Metrics.set m_entries 0.0;
   Mutex.protect mutex (fun () ->
       KTbl.reset table;
       hit_count := 0;

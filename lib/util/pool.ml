@@ -41,6 +41,66 @@ let set_max_domains n = if n > 0 then max_domains := n
    guarantees the results are the same either way. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* ---- self-stats ---------------------------------------------------------
+   The pool cannot depend on the metrics registry (xpiler_obs depends on
+   xpiler_util), so it keeps its own counters and the registry pulls them at
+   snapshot time. Wall-clock numbers are inherently schedule-dependent; the
+   registry classifies everything derived from here as unstable. *)
+
+let latency_bounds = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+
+type stats = {
+  maps : int;  (** completed [map] calls *)
+  tasks : int;  (** tasks executed across all maps *)
+  busy_seconds : float;  (** sum of per-task wall time across all domains *)
+  wall_seconds : float;  (** sum of wall time of the [map] calls themselves *)
+  max_jobs : int;  (** largest effective job count seen *)
+  latency_counts : int array;  (** task latencies, per {!latency_bounds} bucket, plus overflow *)
+}
+
+let stats_lock = Mutex.create ()
+let s_maps = ref 0
+let s_tasks = ref 0
+let s_busy = ref 0.0
+let s_wall = ref 0.0
+let s_max_jobs = ref 0
+let s_latency = Array.make (Array.length latency_bounds + 1) 0
+
+let note_task dt =
+  Mutex.protect stats_lock (fun () ->
+      incr s_tasks;
+      s_busy := !s_busy +. dt;
+      let n = Array.length latency_bounds in
+      let rec bucket i = if i >= n || dt <= latency_bounds.(i) then i else bucket (i + 1) in
+      let b = bucket 0 in
+      s_latency.(b) <- s_latency.(b) + 1)
+
+let note_map ~jobs dt =
+  Mutex.protect stats_lock (fun () ->
+      incr s_maps;
+      s_wall := !s_wall +. dt;
+      if jobs > !s_max_jobs then s_max_jobs := jobs)
+
+let stats () =
+  Mutex.protect stats_lock (fun () ->
+      {
+        maps = !s_maps;
+        tasks = !s_tasks;
+        busy_seconds = !s_busy;
+        wall_seconds = !s_wall;
+        max_jobs = !s_max_jobs;
+        latency_counts = Array.copy s_latency;
+      })
+
+let reset_stats () =
+  Mutex.protect stats_lock (fun () ->
+      s_maps := 0;
+      s_tasks := 0;
+      s_busy := 0.0;
+      s_wall := 0.0;
+      s_max_jobs := 0;
+      Array.fill s_latency 0 (Array.length s_latency) 0)
+
 (* Independent per-task streams: a task's RNG depends on (seed, index) only,
    never on the job count or the schedule. *)
 let task_seed seed i = Hashtbl.hash (seed, i, "xpiler-pool")
@@ -64,12 +124,15 @@ let map ?jobs:j ?(seed = 0) ?clock f inputs =
   in
   let results = Array.make n None in
   let run i =
+    let t0 = Unix.gettimeofday () in
     let r =
       try Ok (f tasks.(i) items.(i))
       with e -> Error (e, Printexc.get_raw_backtrace ())
     in
+    note_task (Unix.gettimeofday () -. t0);
     results.(i) <- Some r
   in
+  let map_t0 = Unix.gettimeofday () in
   (if j <= 1 || n <= 1 || Domain.DLS.get in_worker then
      for i = 0 to n - 1 do
        run i
@@ -103,6 +166,7 @@ let map ?jobs:j ?(seed = 0) ?clock f inputs =
          List.iter Domain.join helpers)
        (fun () -> pull ())
    end);
+  note_map ~jobs:(max 1 (min j (max n 1))) (Unix.gettimeofday () -. map_t0);
   (* Deterministic replay: per-task effect buffers drain in input order on
      the calling domain, so clock observers and deferred trace emission see
      the exact sequential event stream. The first failing task (by input

@@ -62,3 +62,27 @@ val get_max_domains : unit -> int
 val set_max_domains : int -> unit
 (** Override the domain cap — tests use this to force cross-domain execution
     even on a single-core host. *)
+
+(** {2 Self-stats}
+
+    The pool keeps wall-clock usage counters for the observability layer,
+    which pulls them at snapshot time ([Obs.Metrics] cannot be called from
+    here without a dependency cycle). All values are schedule-dependent:
+    identical *results* across job counts, but busy/wall seconds and latency
+    buckets differ run to run. *)
+
+val latency_bounds : float array
+(** Upper bounds (seconds, inclusive) of the task-latency histogram buckets;
+    [latency_counts] has one extra trailing overflow bucket. *)
+
+type stats = {
+  maps : int;  (** completed [map] calls *)
+  tasks : int;  (** tasks executed across all maps *)
+  busy_seconds : float;  (** sum of per-task wall time across all domains *)
+  wall_seconds : float;  (** sum of wall time of the [map] calls themselves *)
+  max_jobs : int;  (** largest effective job count seen *)
+  latency_counts : int array;  (** per-bucket task counts, plus overflow *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
