@@ -73,6 +73,14 @@ let no_rollback_arg =
   in
   Arg.(value & flag & info [ "no-rollback" ] ~doc)
 
+let no_speculative_repair_arg =
+  let doc =
+    "Test SMT-repair candidates serially instead of speculatively over the worker pool. \
+     Speculation is deterministic (lowest-index winner, canonical replayed effects), so \
+     the flag exists for A/B measurement and debugging."
+  in
+  Arg.(value & flag & info [ "no-speculative-repair" ] ~doc)
+
 let fault_scale_arg =
   let doc =
     "Multiplier on the simulated LLM's fault-injection rates (default 1.0, the \
@@ -118,7 +126,7 @@ let find_op name =
 (* ---- translate ------------------------------------------------------------ *)
 
 let translate op_name shape src dst tune seed jobs no_prune no_warm_start max_escalation
-    no_rollback fault_scale trace trace_level =
+    no_rollback no_speculative_repair fault_scale trace trace_level =
   let op = find_op op_name in
   let shape = parse_shape op shape in
   let config =
@@ -129,7 +137,8 @@ let translate op_name shape src dst tune seed jobs no_prune no_warm_start max_es
       { base with
         Config.tuning_prune = not no_prune;
         tuning_warm_start = not no_warm_start;
-        rollback = not no_rollback
+        rollback = not no_rollback;
+        speculative_repair = not no_speculative_repair
       }
     in
     let base = Config.with_max_escalation base max_escalation in
@@ -174,7 +183,7 @@ let translate_cmd =
     Term.(
       const translate $ op_arg $ shape_arg $ src_arg $ dst_arg $ tune_arg $ seed_arg
       $ jobs_arg $ no_prune_arg $ no_warm_start_arg $ max_escalation_arg $ no_rollback_arg
-      $ fault_scale_arg $ trace_arg $ trace_level_arg)
+      $ no_speculative_repair_arg $ fault_scale_arg $ trace_arg $ trace_level_arg)
 
 (* ---- show-source ----------------------------------------------------------- *)
 
@@ -397,7 +406,8 @@ let metrics_cmd =
 
 (* ---- bench-diff -------------------------------------------------------------- *)
 
-let bench_diff history eval_file tuning_file resilience_file threshold exact_only =
+let bench_diff history eval_file tuning_file resilience_file repair_file threshold exact_only
+    =
   let module BH = Xpiler_obs.Bench_history in
   let hist =
     match BH.load ~path:history () with
@@ -432,9 +442,10 @@ let bench_diff history eval_file tuning_file resilience_file threshold exact_onl
   check "eval" eval_file;
   check "tuning" tuning_file;
   check "resilience" resilience_file;
+  check "repair" repair_file;
   if !seen = 0 then begin
-    Printf.eprintf "bench-diff: no BENCH_*.json found (looked for %s, %s, %s)\n" eval_file
-      tuning_file resilience_file;
+    Printf.eprintf "bench-diff: no BENCH_*.json found (looked for %s, %s, %s, %s)\n" eval_file
+      tuning_file resilience_file repair_file;
     exit 2
   end;
   if !regressions > 0 then begin
@@ -448,9 +459,9 @@ let bench_diff_cmd =
   let info =
     Cmd.info "bench-diff"
       ~doc:
-        "Compare current BENCH_eval.json / BENCH_tuning.json / BENCH_resilience.json \
-         headline numbers against results/history.jsonl and fail (exit 1) on \
-         regressions beyond the per-metric thresholds."
+        "Compare current BENCH_eval.json / BENCH_tuning.json / BENCH_resilience.json / \
+         BENCH_repair.json headline numbers against results/history.jsonl and fail \
+         (exit 1) on regressions beyond the per-metric thresholds."
   in
   let history_opt =
     let doc = "History file (JSONL, appended by the bench executables)." in
@@ -468,6 +479,10 @@ let bench_diff_cmd =
     let doc = "Resilience bench report." in
     Arg.(value & opt string "BENCH_resilience.json" & info [ "resilience" ] ~docv:"FILE" ~doc)
   in
+  let repair_opt =
+    let doc = "Repair/SMT hot-path bench report." in
+    Arg.(value & opt string "BENCH_repair.json" & info [ "repair" ] ~docv:"FILE" ~doc)
+  in
   let threshold_opt =
     let doc =
       "Scale factor on every per-metric regression threshold (2.0 = twice as tolerant, \
@@ -484,8 +499,8 @@ let bench_diff_cmd =
   in
   Cmd.v info
     Term.(
-      const bench_diff $ history_opt $ eval_opt $ tuning_opt $ resilience_opt $ threshold_opt
-      $ exact_only_flag)
+      const bench_diff $ history_opt $ eval_opt $ tuning_opt $ resilience_opt $ repair_opt
+      $ threshold_opt $ exact_only_flag)
 
 (* ---- manual ------------------------------------------------------------------ *)
 

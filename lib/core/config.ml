@@ -36,6 +36,7 @@ type t = {
   static_analysis : bool;
   escalation : escalation;
   rollback : bool;
+  speculative_repair : bool;
   fault_scale : float;
   tune : bool;
   mcts : Xpiler_tuning.Mcts.config;
@@ -57,6 +58,7 @@ let default =
     static_analysis = true;
     escalation = default_escalation;
     rollback = true;
+    speculative_repair = true;
     fault_scale = 1.0;
     tune = false;
     mcts = { Xpiler_tuning.Mcts.default_config with simulations = 48; max_depth = 6 };
@@ -76,7 +78,8 @@ let seed_pipeline =
   { default with
     name = "qimeng-xpiler-seed";
     escalation = no_escalation;
-    rollback = false
+    rollback = false;
+    speculative_repair = false
   }
 
 let without_smt =

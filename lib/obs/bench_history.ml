@@ -111,6 +111,15 @@ let of_bench_json ~bench j =
         ("ladder_broken", Option.value ~default:0.0 (mfloat "total_ladder_broken" j));
         ("seed_broken", Option.value ~default:0.0 (mfloat "total_seed_broken" j));
       ]
+    | "repair" ->
+      let v name = Option.value ~default:0.0 (mfloat name j) in
+      [
+        ("steps_reduction", v "steps_reduction");
+        ("evals_reduction", v "evals_reduction");
+        ("wall_speedup", v "wall_speedup");
+        ("optimized_broken", v "optimized_broken");
+        ("speculation_win_rate", v "speculation_win_rate");
+      ]
     | other -> invalid_arg ("Bench_history.of_bench_json: unknown bench " ^ other)
   in
   { bench; smoke = smoke_of j; time = None; metrics = List.sort compare metrics }
@@ -150,6 +159,16 @@ let specs = function
     [
       { metric = "ladder_broken"; direction = Lower; noise = Exact; rel_threshold = 0.0; abs_slack = 0.5; gated = true };
       { metric = "seed_broken"; direction = Lower; noise = Exact; rel_threshold = 0.0; abs_slack = 0.5; gated = false };
+    ]
+  | "repair" ->
+    [
+      (* solver work is deterministic (fresh steps/evals counted on the
+         master domain), so reductions gate exactly *)
+      { metric = "steps_reduction"; direction = Higher; noise = Exact; rel_threshold = 0.15; abs_slack = 0.1; gated = true };
+      { metric = "evals_reduction"; direction = Higher; noise = Exact; rel_threshold = 0.15; abs_slack = 0.1; gated = true };
+      { metric = "optimized_broken"; direction = Lower; noise = Exact; rel_threshold = 0.0; abs_slack = 0.5; gated = true };
+      { metric = "wall_speedup"; direction = Higher; noise = Wall; rel_threshold = 0.35; abs_slack = 0.0; gated = true };
+      { metric = "speculation_win_rate"; direction = Higher; noise = Exact; rel_threshold = 1.0; abs_slack = 0.0; gated = false };
     ]
   | _ -> []
 

@@ -14,7 +14,7 @@
     other (entries match on [bench] {e and} [smoke]). *)
 
 type entry = {
-  bench : string;  (** ["eval"] | ["tuning"] | ["resilience"] *)
+  bench : string;  (** ["eval"] | ["tuning"] | ["resilience"] | ["repair"] *)
   smoke : bool;
   time : float option;  (** unix seconds; omitted from comparisons *)
   metrics : (string * float) list;  (** sorted by name *)
@@ -39,7 +39,9 @@ val of_bench_file : bench:string -> string -> (entry, string) result
     eval → [geomean_speedup], geomean of per-kernel
     [compiled_elems_per_sec], [parallel_speedup]; tuning → mean
     [eval_reduction], min [best_reward_ratio]; resilience →
-    [total_ladder_broken], [total_seed_broken]. *)
+    [total_ladder_broken], [total_seed_broken]; repair →
+    [steps_reduction], [evals_reduction], [wall_speedup],
+    [optimized_broken], [speculation_win_rate]. *)
 
 (** {2 Regression specs} *)
 

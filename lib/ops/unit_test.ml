@@ -67,6 +67,43 @@ let reference_outputs_seeded ~seed (op : Opdef.t) shape =
         Hashtbl.replace ref_cache key (op, clone args, clone_outs outs));
     (args, outs)
 
+(* trial-0 verdict and repair mismatch score from one interpreter run: the
+   checker's first trial and the repair hill-climb oracle draw on the same
+   seeded reference inputs, so the repairer's candidate path fuses them
+   instead of executing the candidate twice *)
+let check_scored ?(seed = 20250706) (op : Opdef.t) shape kernel =
+  let args, expected = reference_outputs_seeded ~seed op shape in
+  match Interp.run kernel args with
+  | exception Interp.Runtime_error m -> (Fail ("runtime error: " ^ m), max_int)
+  | _ ->
+    let outs = out_tensors op args in
+    let bad =
+      List.find_opt
+        (fun (name, t) ->
+          match List.assoc_opt name expected with
+          | Some e -> not (Tensor.allclose ~rtol:1e-3 ~atol:1e-4 t e)
+          | None -> true)
+        outs
+    in
+    let verdict =
+      match bad with
+      | Some (name, t) ->
+        let e = List.assoc name expected in
+        Fail
+          (Printf.sprintf "output %s diverges (max abs diff %.3g)" name
+             (Tensor.max_abs_diff t e))
+      | None -> Pass
+    in
+    let score =
+      List.fold_left
+        (fun acc (name, e) ->
+          match List.assoc_opt name args with
+          | Some (Interp.Buf t) -> acc + List.length (Tensor.mismatched_indices t e)
+          | _ -> acc + Tensor.length e)
+        0 expected
+    in
+    (verdict, score)
+
 let check ?(trials = 2) ?(seed = 20250706) (op : Opdef.t) shape kernel =
   let rec trial i =
     if i >= trials then Pass

@@ -24,6 +24,13 @@ val reference_outputs_seeded :
     [Opdef.t] value (physical identity), so regenerated fuzz ops that reuse
     a name cannot collide. *)
 
+val check_scored : ?seed:int -> Opdef.t -> Opdef.shape -> Kernel.t -> verdict * int
+(** One interpreter run yielding both the trial-0 verdict (identical to
+    [check ~trials:1 ~seed]) and the repair mismatch score — the number of
+    expected-output elements the candidate gets wrong, [max_int] on a
+    runtime error. The repairer's candidate path uses this to avoid
+    executing a failing candidate twice (once to test, once to score). *)
+
 val check : ?trials:int -> ?seed:int -> Opdef.t -> Opdef.shape -> Kernel.t -> verdict
 (** Execute the candidate on [trials] fresh random input sets (default 2) and
     compare every output buffer to the reference. Runtime errors (out of

@@ -26,6 +26,8 @@ val repair :
   ?rounds:int ->
   ?static:Xpiler_analysis.Analyzer.finding list ->
   ?clock:Xpiler_util.Vclock.t ->
+  ?speculative:bool ->
+  ?jobs:int ->
   platform:Platform.t ->
   op:Opdef.t ->
   shape:Opdef.shape ->
@@ -35,4 +37,44 @@ val repair :
     sequence; [max_tests] (default 200) bounds unit-test executions.
     [static] passes pre-validation analyzer findings: their sites are tried
     first at a fraction of a localization round's modelled cost ([Vclock]
-    charges 30s against 240s), with the dynamic rounds as fallback. *)
+    charges 30s against 240s), with the dynamic rounds as fallback.
+
+    [speculative] (default false; the pipeline enables it via
+    [Config.speculative_repair]) evaluates each site's candidate batch over
+    the domain pool with deterministic lowest-index-wins selection and
+    cancellation of losers; [jobs] is the pool width. The selected repair
+    equals serial testing's (first passing candidate), and the emitted
+    charge/trace stream is byte-identical across job counts. *)
+
+(** {2 Bench meters} *)
+
+type spec_stats = { batches : int; won : int; cancelled : int }
+
+val speculation_totals : unit -> spec_stats
+(** Logical speculation accounting (cancelled = losers above each winning
+    index), jobs-invariant by construction. *)
+
+val reset_speculation_totals : unit -> unit
+
+val reset_verdict_memo : unit -> unit
+(** Drop the process-global candidate verdict/score memo (unit-test trial
+    verdicts and mismatch scores keyed by structural kernel identity). The
+    memo obeys [Xpiler_smt.Memo.set_enabled] and bypasses itself while
+    tracing, so traced journals are byte-identical cold vs warm. *)
+
+type wall_stats = {
+  repairs : int;
+  wall_seconds : float;  (** total time inside {!repair} *)
+  localize_seconds : float;  (** dynamic bug localization *)
+  solve_seconds : float;  (** SMT candidate-domain solving *)
+  test_seconds : float;  (** serial-path unit testing (master domain only) *)
+  score_seconds : float;  (** mismatch scoring for partial-repair ranking *)
+}
+
+val wall_totals : unit -> wall_stats
+(** Wall-clock time spent inside {!repair} since the last reset, with a
+    per-component breakdown. Component meters only cover work on the master
+    domain — speculative task internals run unattributed — so they need not
+    sum to [wall_seconds]. *)
+
+val reset_wall_totals : unit -> unit

@@ -1,0 +1,37 @@
+(** Process-global solver memo: canonical problem hash → outcome/models.
+
+    Entries carry the original search's [stats] as an effect *receipt*
+    (same trick as the tuner's transposition table): [Solver] replays a
+    hit's receipt through the same metrics/trace path a fresh solve uses,
+    so cold-vs-warm and jobs=1-vs-jobs=N runs emit byte-identical
+    observable streams. [max_steps] (and [limit] for [Models]) are part of
+    the key, which is what makes memoizing [Unsat] and [Timeout] sound.
+
+    [Solver] is the only intended writer; benches and tests use
+    [set_enabled]/[clear]/[reset_stats] to build cold baselines. *)
+
+type mode = Solve | Models of { limit : int }
+
+type payload =
+  | Outcome of Problem.outcome
+  | Model_list of (string * int) list list
+
+type entry = { payload : payload; stats : Problem.stats  (** the receipt *) }
+
+val find : mode:mode -> max_steps:int -> Problem.t -> entry option
+(** [None] when absent or when the memo is disabled. Counts a hit/miss
+    (registry + [hits]/[misses]) only while enabled. *)
+
+val store : mode:mode -> max_steps:int -> Problem.t -> entry -> unit
+(** No-op while disabled. Evicts half the table at capacity. *)
+
+val set_enabled : bool -> unit
+(** Default enabled; benches disable it for the cold/naive baseline arm. *)
+
+val is_enabled : unit -> bool
+
+val hits : unit -> int
+val misses : unit -> int
+val size : unit -> int
+val reset_stats : unit -> unit
+val clear : unit -> unit

@@ -1,0 +1,44 @@
+(* Shared problem vocabulary for the SMT-lite stack.
+
+   [Solver] and [Memo] both need the problem/outcome types: the solver to
+   search, the memo to key its table. Keeping them in a leaf module avoids a
+   dependency cycle and gives the memo a canonical structural equality and
+   full-depth hash (via [Expr.hash], mirroring the tuner's transposition
+   key) so near-identical repair problems never alias by accident. *)
+
+open Xpiler_ir
+
+type domain = Range of { lo : int; hi : int; stride : int } | Enum of int list
+
+type t = { vars : (string * domain) list; constraints : Expr.t list }
+type stats = { steps : int; evals : int }
+type outcome = Sat of (string * int) list | Unsat | Timeout
+
+let domain_values = function
+  | Enum xs -> xs
+  | Range { lo; hi; stride } ->
+    if stride <= 0 then invalid_arg "Solver.domain_values: non-positive stride";
+    let rec go v acc = if v > hi then List.rev acc else go (v + stride) (v :: acc) in
+    go lo []
+
+let equal_domain a b =
+  match (a, b) with
+  | Range a, Range b -> a.lo = b.lo && a.hi = b.hi && a.stride = b.stride
+  | Enum a, Enum b -> a = b
+  | _ -> false
+
+let equal a b =
+  List.equal (fun (n1, d1) (n2, d2) -> String.equal n1 n2 && equal_domain d1 d2) a.vars b.vars
+  && List.equal Expr.equal a.constraints b.constraints
+
+let hash_domain h = function
+  | Range { lo; hi; stride } -> Expr.hash_comb (Expr.hash_comb (Expr.hash_comb h 3) lo) (Expr.hash_comb hi stride)
+  | Enum xs -> List.fold_left Expr.hash_comb (Expr.hash_comb h 5) xs
+
+let hash p =
+  let h =
+    List.fold_left
+      (fun h (name, dom) -> hash_domain (Expr.hash_comb h (Hashtbl.hash name)) dom)
+      0x51 p.vars
+  in
+  List.fold_left (fun h c -> Expr.hash_comb h (Expr.hash c)) h p.constraints

@@ -1,0 +1,33 @@
+open Xpiler_ir
+
+(** Shared vocabulary of the SMT-lite stack: problem, stats and outcome
+    types, plus the canonical structural equality/hash that keys the solver
+    memo. [Solver] re-exports these types, so client code keeps writing
+    [Solver.problem] / [Solver.Sat]; depend on this module directly only
+    when you need the hash (e.g. [Memo]). *)
+
+type domain =
+  | Range of { lo : int; hi : int; stride : int }  (** lo, lo+stride, ..., <= hi *)
+  | Enum of int list
+
+type t = {
+  vars : (string * domain) list;  (** assignment order = listed order *)
+  constraints : Expr.t list;  (** conjunction; may mention only [vars] *)
+}
+
+type stats = { steps : int; evals : int }
+
+type outcome =
+  | Sat of (string * int) list
+  | Unsat
+  | Timeout
+
+val domain_values : domain -> int list
+
+val equal : t -> t -> bool
+(** Structural: same variables in the same order with equal domains, same
+    constraint list up to [Expr.equal]. *)
+
+val hash : t -> int
+(** Full-depth structural hash consistent with [equal] (built on
+    [Expr.hash], like the tuner's transposition key). *)

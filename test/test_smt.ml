@@ -62,6 +62,15 @@ let test_divisors () =
   Alcotest.(check (list int)) "divisors 12" [ 1; 2; 3; 4; 6; 12 ] (Solver.divisors 12);
   Alcotest.(check (list int)) "divisors 1" [ 1 ] (Solver.divisors 1)
 
+(* the O(sqrt n) paired enumeration must agree with trial division, squares
+   and primes included *)
+let test_divisors_sqrt () =
+  let naive n = List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1)) in
+  List.iter
+    (fun n ->
+      Alcotest.(check (list int)) (Printf.sprintf "divisors %d" n) (naive n) (Solver.divisors n))
+    [ 1; 12; 36; 97; 1024 ]
+
 let test_forall () =
   let open Expr.Infix in
   (* forall i in [0,4): i*2 < 8 *)
@@ -69,6 +78,64 @@ let test_forall () =
   Alcotest.(check int) "valid" 1 (Expr.eval_int (fun _ -> 0) f);
   let g = Solver.forall_range "i" ~lo:0 ~hi:5 (v "i" * int 2 < int 8) in
   Alcotest.(check int) "invalid at i=4" 0 (Expr.eval_int (fun _ -> 0) g)
+
+(* ---- solver memo ----------------------------------------------------------- *)
+
+(* negative verdicts are sound memo entries: the key includes the step
+   budget, so an Unsat or Timeout under one budget can never answer a query
+   under another *)
+let test_memo_unsat_and_timeout () =
+  let open Expr.Infix in
+  Solver.set_engine Solver.Incremental;
+  Memo.clear ();
+  Memo.reset_stats ();
+  let unsat_p : Solver.problem =
+    { vars = [ ("x", Solver.Range { lo = 0; hi = 50; stride = 1 }) ];
+      constraints = [ v "x" > int 60 ]
+    }
+  in
+  let o1 = Solver.solve unsat_p in
+  let o2 = Solver.solve unsat_p in
+  Alcotest.(check bool) "unsat memoized with its receipt" true (Stdlib.( = ) o1 o2);
+  Alcotest.(check bool) "unsat is an unsat" true
+    (match o1 with Solver.Unsat, _ -> true | _ -> false);
+  Alcotest.(check int) "one hit" 1 (Memo.hits ());
+  let timeout_p : Solver.problem =
+    { vars =
+        [ ("a", Solver.Range { lo = 0; hi = 10000; stride = 1 });
+          ("b", Solver.Range { lo = 0; hi = 10000; stride = 1 }) ];
+      constraints = [ v "a" * v "b" = int (-1) ]
+    }
+  in
+  let t1 = Solver.solve ~max_steps:1000 timeout_p in
+  let t2 = Solver.solve ~max_steps:1000 timeout_p in
+  Alcotest.(check bool) "timeout memoized with its receipt" true (Stdlib.( = ) t1 t2);
+  Alcotest.(check bool) "timeout is a timeout" true
+    (match t1 with Solver.Timeout, _ -> true | _ -> false);
+  let misses_before = Memo.misses () in
+  let t3 = Solver.solve ~max_steps:5000 timeout_p in
+  Alcotest.(check int) "a different budget is a fresh search, not a stale hit"
+    (Stdlib.( + ) misses_before 1) (Memo.misses ());
+  Alcotest.(check bool) "larger budget searches further" true
+    (match t3 with _, s -> Stdlib.( > ) s.Solver.steps 1001)
+
+let test_memo_disabled_is_silent () =
+  Solver.set_engine Solver.Incremental;
+  Memo.clear ();
+  Memo.reset_stats ();
+  Memo.set_enabled false;
+  Fun.protect ~finally:(fun () -> Memo.set_enabled true) @@ fun () ->
+  let open Expr.Infix in
+  let p : Solver.problem =
+    { vars = [ ("x", Solver.Range { lo = 0; hi = 8; stride = 1 }) ];
+      constraints = [ v "x" > int 3 ]
+    }
+  in
+  let o1 = Solver.solve p in
+  let o2 = Solver.solve p in
+  Alcotest.(check bool) "same result without the memo" true (Stdlib.( = ) o1 o2);
+  Alcotest.(check int) "no lookups counted" 0 (Stdlib.( + ) (Memo.hits ()) (Memo.misses ()));
+  Alcotest.(check int) "nothing stored" 0 (Memo.size ())
 
 (* ---- synthesis ------------------------------------------------------------- *)
 
@@ -169,7 +236,35 @@ let prop_solve_all_distinct =
         (Stdlib.( = ) (List.length (List.sort_uniq compare ms)) (List.length ms))
         (Stdlib.( = ) (List.length ms) (Stdlib.( + ) (Stdlib.( / ) n 2) 1)))
 
+(* differential fuzz: the incremental watched-constraint engine (plus memo,
+   which may serve repeated problems) must agree with the retained naive
+   engine on outcome, model set and model order *)
+let prop_incremental_matches_naive =
+  QCheck.Test.make ~name:"incremental engine matches naive engine" ~count:300
+    QCheck.(quad (int_range 0 25) (int_range 1 4) (int_range 0 30) (int_range 1 6))
+    (fun (hi, stride, target, m) ->
+      let problem : Solver.problem =
+        let open Expr.Infix in
+        { vars =
+            [ ("x", Solver.Range { lo = 0; hi; stride });
+              ("y", Solver.Enum [ 0; 1; 3; 7; target ]);
+              ("z", Solver.Range { lo = -2; hi = 3; stride = 1 }) ];
+          constraints =
+            [ v "x" + v "y" + v "z" = int target;
+              v "x" % int m = int 0;
+              v "y" > v "z" - int 8 ]
+        }
+      in
+      let inc_models = Solver.solve_all ~limit:64 problem in
+      let naive_models, _ = Solver.solve_all_naive ~limit:64 problem in
+      let inc_outcome, _ = Solver.solve problem in
+      let naive_outcome, _ = Solver.solve_naive problem in
+      Stdlib.( && )
+        (Stdlib.( = ) inc_models naive_models)
+        (Stdlib.( = ) inc_outcome naive_outcome))
+
 let () =
+  Solver.set_engine Solver.Incremental;
   Alcotest.run "smt"
     [ ( "solver",
         [ Alcotest.test_case "figure-5 split constraint" `Quick test_solve_linear;
@@ -177,7 +272,12 @@ let () =
           Alcotest.test_case "alignment filter" `Quick test_solve_alignment;
           Alcotest.test_case "timeout" `Quick test_solve_timeout;
           Alcotest.test_case "divisors" `Quick test_divisors;
+          Alcotest.test_case "divisors O(sqrt n)" `Quick test_divisors_sqrt;
           Alcotest.test_case "bounded forall" `Quick test_forall
+        ] );
+      ( "memo",
+        [ Alcotest.test_case "unsat and timeout memoized" `Quick test_memo_unsat_and_timeout;
+          Alcotest.test_case "disabled memo is silent" `Quick test_memo_disabled_is_silent
         ] );
       ( "synthesis",
         [ Alcotest.test_case "split factor hole" `Quick test_fill_holes_split_factor;
@@ -187,6 +287,7 @@ let () =
           Alcotest.test_case "apply model" `Quick test_apply_model
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_sat_models_satisfy; prop_solve_all_distinct ]
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sat_models_satisfy; prop_solve_all_distinct; prop_incremental_matches_naive ]
       )
     ]
