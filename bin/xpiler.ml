@@ -88,6 +88,16 @@ let fault_scale_arg =
   in
   Arg.(value & opt float 1.0 & info [ "fault-scale" ] ~docv:"F" ~doc)
 
+let native_arg =
+  let doc =
+    "Execute kernels through the native backend: lower each kernel to OCaml source, \
+     compile it out of process and dynlink the artifact, with compiled kernels cached \
+     on disk under \\$XPILER_CACHE_DIR (default ~/.cache/xpiler). Falls back to the \
+     closure engine per kernel when the toolchain is unavailable, so results never \
+     change — only wall-clock does. Also enabled by \\$XPILER_NATIVE=1."
+  in
+  Arg.(value & flag & info [ "native" ] ~doc)
+
 let trace_arg =
   let doc =
     "Write a JSONL trace journal of the translation to $(docv) (replay it with `xpiler \
@@ -126,7 +136,7 @@ let find_op name =
 (* ---- translate ------------------------------------------------------------ *)
 
 let translate op_name shape src dst tune seed jobs no_prune no_warm_start max_escalation
-    no_rollback no_speculative_repair fault_scale trace trace_level =
+    no_rollback no_speculative_repair fault_scale native trace trace_level =
   let op = find_op op_name in
   let shape = parse_shape op shape in
   let config =
@@ -138,7 +148,8 @@ let translate op_name shape src dst tune seed jobs no_prune no_warm_start max_es
         Config.tuning_prune = not no_prune;
         tuning_warm_start = not no_warm_start;
         rollback = not no_rollback;
-        speculative_repair = not no_speculative_repair
+        speculative_repair = not no_speculative_repair;
+        native_backend = native
       }
     in
     let base = Config.with_max_escalation base max_escalation in
@@ -183,7 +194,8 @@ let translate_cmd =
     Term.(
       const translate $ op_arg $ shape_arg $ src_arg $ dst_arg $ tune_arg $ seed_arg
       $ jobs_arg $ no_prune_arg $ no_warm_start_arg $ max_escalation_arg $ no_rollback_arg
-      $ no_speculative_repair_arg $ fault_scale_arg $ trace_arg $ trace_level_arg)
+      $ no_speculative_repair_arg $ fault_scale_arg $ native_arg $ trace_arg
+      $ trace_level_arg)
 
 (* ---- show-source ----------------------------------------------------------- *)
 
@@ -334,7 +346,8 @@ let trace_cmd =
 (* run a translation with the registry and the wall-clock profiler on, then
    print the registry snapshot and wall-vs-virtual stage tables; tuning is on
    by default so the cache/transposition meters have something to show *)
-let metrics_run op_name shape src dst no_tune seed jobs fault_scale openmetrics_out json_out =
+let metrics_run op_name shape src dst no_tune seed jobs fault_scale native openmetrics_out
+    json_out =
   let op = find_op op_name in
   let shape = parse_shape op shape in
   let config =
@@ -345,7 +358,7 @@ let metrics_run op_name shape src dst no_tune seed jobs fault_scale openmetrics_
     (* root-parallel search batches share the transposition table, which is
        what makes its hit/miss meters informative in a single run *)
     let mcts = { base.Config.mcts with Xpiler_tuning.Mcts.root_parallel = 4 } in
-    { base with Config.profile = true; mcts }
+    { base with Config.profile = true; mcts; native_backend = native }
   in
   Xpiler_obs.Metrics.reset ();
   Xpiler_obs.Prof.reset ();
@@ -402,7 +415,7 @@ let metrics_cmd =
   Cmd.v info
     Term.(
       const metrics_run $ op_arg $ shape_arg $ src_arg $ dst_arg $ no_tune_flag $ seed_arg
-      $ jobs_arg $ fault_scale_arg $ openmetrics_opt $ json_opt)
+      $ jobs_arg $ fault_scale_arg $ native_arg $ openmetrics_opt $ json_opt)
 
 (* ---- bench-diff -------------------------------------------------------------- *)
 
@@ -502,6 +515,41 @@ let bench_diff_cmd =
       const bench_diff $ history_opt $ eval_opt $ tuning_opt $ resilience_opt $ repair_opt
       $ threshold_opt $ exact_only_flag)
 
+(* ---- cache ------------------------------------------------------------------- *)
+
+let cache clear =
+  let module Native = Xpiler_machine.Native in
+  if clear then begin
+    let removed = Native.cache_clear () in
+    Printf.printf "removed %d file%s from %s\n" removed
+      (if removed = 1 then "" else "s")
+      (Native.cache_dir ())
+  end
+  else begin
+    let info = Native.cache_info () in
+    Printf.printf "dir:    %s\n" info.Native.dir;
+    Printf.printf "files:  %d\n" info.Native.files;
+    Printf.printf "bytes:  %d (%.1f MiB)\n" info.Native.bytes
+      (float_of_int info.Native.bytes /. (1024.0 *. 1024.0));
+    Printf.printf "limit:  %d (%.1f MiB)\n" info.Native.limit_bytes
+      (float_of_int info.Native.limit_bytes /. (1024.0 *. 1024.0))
+  end
+
+let cache_cmd =
+  let info =
+    Cmd.info "cache"
+      ~doc:
+        "Inspect the native-backend artifact cache (default: print dir, file count, \
+         size, and the eviction limit) or empty it with $(b,--clear). The cache lives \
+         under \\$XPILER_CACHE_DIR (default ~/.cache/xpiler) and is safe to delete at \
+         any time; the backend recompiles on the next miss."
+  in
+  let clear_flag =
+    let doc = "Remove every cached artifact and kept generated source." in
+    Arg.(value & flag & info [ "clear" ] ~doc)
+  in
+  Cmd.v info Term.(const cache $ clear_flag)
+
 (* ---- manual ------------------------------------------------------------------ *)
 
 let manual platform query =
@@ -523,4 +571,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ translate_cmd; show_source_cmd; list_ops_cmd; lint_cmd; trace_cmd; metrics_cmd;
-            bench_diff_cmd; manual_cmd ]))
+            bench_diff_cmd; cache_cmd; manual_cmd ]))

@@ -47,6 +47,7 @@ type t = {
   trace_level : Xpiler_obs.Tracer.level;
   trace_sink : string option;
   profile : bool;
+  native_backend : bool;
 }
 
 let default =
@@ -68,7 +69,8 @@ let default =
     jobs = 1;
     trace_level = Xpiler_obs.Tracer.Off;
     trace_sink = None;
-    profile = false
+    profile = false;
+    native_backend = false
   }
 
 (* the pre-resilience pipeline: SMT repair only, a Gave_up commits the broken

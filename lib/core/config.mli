@@ -66,6 +66,11 @@ type t = {
       (** Bracket the translation with the wall-clock + allocation profiler
           ([Obs.Prof]). Non-deterministic by nature and fully segregated
           from the trace stream: journals stay byte-identical either way. *)
+  native_backend : bool;
+      (** Execute kernels through the native backend (OCaml-source codegen +
+          [Dynlink], disk-cached artifacts) for the duration of the
+          translation; any kernel the backend cannot handle falls back to
+          the closure engine, so results are identical either way. *)
 }
 
 val default : t

@@ -1031,14 +1031,10 @@ let run_prefix ?(fuel = 200_000_000) c ~stop_after args =
 
 (* ---- bounded compile memo ---------------------------------------------- *)
 
-module KTbl = Hashtbl.Make (struct
-  type t = Kernel.t
-
-  let equal = Kernel.equal
-  let hash = Kernel.hash
-end)
-
-let cache : t KTbl.t = KTbl.create 64
+(* Keyed by [Kernel.cache_key] — the same helper that addresses the native
+   backend's on-disk artifact cache — so the two caches cannot diverge on a
+   collision. *)
+let cache : (string, t) Hashtbl.t = Hashtbl.create 64
 let cache_mutex = Mutex.create ()
 let cache_limit = 4096
 
@@ -1057,17 +1053,18 @@ let m_cache_resets =
   Metrics.counter ~help:"full cache resets under capacity pressure" "xpiler_compile_cache_resets_total"
 
 let cached k =
+  let key = Kernel.cache_key k in
   Mutex.protect cache_mutex (fun () ->
-      match KTbl.find_opt cache k with
+      match Hashtbl.find_opt cache key with
       | Some c ->
         Metrics.inc m_cache_hits;
         c
       | None ->
         Metrics.inc m_cache_misses;
-        if KTbl.length cache >= cache_limit then begin
+        if Hashtbl.length cache >= cache_limit then begin
           Metrics.inc m_cache_resets;
-          KTbl.reset cache
+          Hashtbl.reset cache
         end;
         let c = compile k in
-        KTbl.add cache k c;
+        Hashtbl.add cache key c;
         c)

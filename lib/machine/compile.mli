@@ -109,6 +109,7 @@ val run_prefix : ?fuel:int -> t -> stop_after:int -> (string * arg) list -> stat
 (** Same contract as [Interp.run_prefix]. *)
 
 val cached : Kernel.t -> t
-(** Bounded thread-safe memo keyed by structural [Kernel.hash]/[Kernel.equal];
-    the tuner re-executes the same candidate kernels many times, so this
-    makes compilation cost amortize to zero. *)
+(** Bounded thread-safe memo keyed by [Kernel.cache_key] (the same helper
+    that addresses the native backend's on-disk artifact cache); the tuner
+    re-executes the same candidate kernels many times, so this makes
+    compilation cost amortize to zero. *)

@@ -1,0 +1,71 @@
+(** Native kernel backend: OCaml-source codegen + out-of-process [ocamlopt]
+    + [Dynlink], with an on-disk content-addressed artifact cache.
+
+    A kernel is lowered to a self-contained OCaml compilation unit (flat
+    loops over unboxed [float array]s, intrinsics specialized in a private
+    runtime, barriers compiled to a private copy of the shared fiber
+    scheduler), compiled with [ocamlfind ocamlopt -shared] and loaded with
+    [Dynlink.loadfile_private]. Artifacts live under [XPILER_CACHE_DIR]
+    (default [~/.cache/xpiler]) keyed by {!Kernel.cache_key} salted with
+    {!codegen_version}; an in-process memo sits in front of the disk cache.
+
+    The backend is best-effort by contract: {!run} returns [None] whenever it
+    cannot produce a native execution (toolchain absent, bytecode host,
+    compile or dynlink failure), and the caller falls back to the closure
+    engine. Kernel-level runtime errors are NOT a fallback — they raise
+    {!Compile.Runtime_error} with byte-identical messages, and statistics,
+    tracing and profiling behave exactly as in {!Compile.run}. *)
+
+open Xpiler_ir
+
+val codegen_version : string
+(** Salt mixed into the artifact cache key; bump on any codegen change. *)
+
+val enabled : unit -> bool
+(** Whether {!Interp.run} should try the native backend. Initialized from
+    [XPILER_NATIVE] (["1"]/["true"]/["on"]/["yes"]). Only gates the
+    [Interp] dispatch — calling {!run} directly always attempts native
+    execution. *)
+
+val set_enabled : bool -> unit
+
+val available : unit -> bool
+(** Native dynlink supported and [ocamlfind ocamlopt] answers (probed once,
+    lazily). Independent of {!enabled}. *)
+
+val set_toolchain_override : bool option -> unit
+(** Test hook: force {!available} to a fixed verdict ([None] restores the
+    real probe). [Some false] exercises the fallback path deterministically. *)
+
+val kernel_key : Kernel.t -> string
+(** [Kernel.cache_key ~salt:codegen_version] — the artifact file stem. *)
+
+val emit_source : Kernel.t -> string
+(** The generated plugin source (deterministic for a given kernel). *)
+
+val cache_dir : unit -> string
+(** Resolved per call so tests can repoint [XPILER_CACHE_DIR]. *)
+
+val set_cache_limit_bytes : int option -> unit
+(** Test hook overriding [XPILER_CACHE_LIMIT_MB] (default 512 MiB). *)
+
+type cache_info = { dir : string; files : int; bytes : int; limit_bytes : int }
+
+val cache_info : unit -> cache_info
+val cache_clear : unit -> int
+(** Remove every cached artifact (and kept sources); returns files removed. *)
+
+val reset_memo_for_testing : unit -> unit
+(** Drop the in-process entry memo (loaded plugin code itself cannot be
+    unloaded) and re-arm the log-once fallback warning. *)
+
+val run :
+  ?fuel:int ->
+  ?trace:(string -> int -> float -> unit) ->
+  Kernel.t ->
+  (string * Compile.arg) list ->
+  Compile.stats option
+(** Same contract as {!Compile.run} when it returns [Some]; [None] means
+    "no native execution happened" (toolchain absent or compile/dynlink
+    infrastructure failure — counted in [xpiler_native_fallbacks_total] and
+    logged once). Kernel runtime errors are never a fallback. *)

@@ -1,0 +1,21 @@
+/* Host side of the native-plugin handshake: a dynlinked kernel registers its
+   entry closure under a well-known name with Callback.register (the only
+   channel a fully self-contained plugin shares with its host), and the host
+   retrieves it here via caml_named_value, which the stdlib does not expose
+   to OCaml code. Returns [None] when nothing is registered. */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/alloc.h>
+#include <caml/callback.h>
+
+CAMLprim value xpiler_native_named_value(value name)
+{
+  CAMLparam1(name);
+  CAMLlocal1(some);
+  const value *v = caml_named_value(String_val(name));
+  if (v == NULL) CAMLreturn(Val_int(0)); /* None */
+  some = caml_alloc_small(1, 0);
+  Field(some, 0) = *v;
+  CAMLreturn(some);
+}

@@ -156,6 +156,45 @@ let prop_engines_agree =
       compare r_tree r_comp = 0
       && compare (Tcommon.buffers a_tree) (Tcommon.buffers a_comp) = 0)
 
+(* the dynlinked native backend joins the differential as a third engine.
+   Native.run is invoked directly (bypassing the Interp dispatch toggle) so
+   the property holds whatever XPILER_NATIVE says; if the toolchain is
+   absent the native column degenerates and the property reduces to the
+   two-way agreement already covered above. Compile cost is bounded by the
+   on-disk artifact cache: re-runs of the pinned corpus are all cache hits. *)
+let native_runner ?fuel ?trace k args =
+  match Native.run ?fuel ?trace k args with
+  | Some s -> s
+  | None -> Alcotest.fail "native backend returned None despite an available toolchain"
+
+let prop_three_engines_agree =
+  QCheck.Test.make ~name:"compiled, tree and native engines agree" ~count:40 arb_seed
+    (fun seed ->
+      (not (Native.available ()))
+      ||
+      let k = kernel_of_seed seed in
+      let frng = Rng.create (seed + 17) in
+      let k =
+        match seed mod 3 with
+        | 0 -> k
+        | 1 -> (
+          match Xpiler_neural.Fault.inject_index frng k with
+          | Some (k', _) -> k'
+          | None -> k)
+        | _ -> (
+          match Xpiler_neural.Fault.inject_bound frng k with
+          | Some (k', _) -> k'
+          | None -> k)
+      in
+      let fuel = if seed mod 5 = 0 then 100 else 200_000_000 in
+      let args = Tcommon.make_args (Rng.create (seed + 2)) ~buf_size k [] in
+      let a_comp = Tcommon.clone_args args in
+      let a_nat = Tcommon.clone_args args in
+      let r_comp = run_engine Interp.run ~fuel k a_comp in
+      let r_nat = run_engine native_runner ~fuel k a_nat in
+      compare r_comp r_nat = 0
+      && compare (Tcommon.buffers a_comp) (Tcommon.buffers a_nat) = 0)
+
 (* handcrafted dynamic errors: both engines must raise Runtime_error with the
    exact same message *)
 let test_engine_error_parity () =
@@ -188,7 +227,11 @@ let test_engine_error_parity () =
         | Error m -> m
       in
       Alcotest.(check string)
-        (name ^ ": same error") (err Interp.run_tree) (err Interp.run))
+        (name ^ ": same error") (err Interp.run_tree) (err Interp.run);
+      if Native.available () then
+        Alcotest.(check string)
+          (name ^ ": native raises the same error")
+          (err Interp.run) (err native_runner))
     cases
 
 (* regression: a comparison over float operands is an integer-valued
@@ -270,7 +313,8 @@ let () =
           (QCheck_alcotest.to_alcotest ~rand)
           [ prop_generator_sound; prop_roundtrip_vnni; prop_roundtrip_cuda;
             prop_roundtrip_bang; prop_pass_sequences_preserve; prop_intra_preserves;
-            prop_engines_agree; prop_analyzer_clean_executes; prop_inject_repair ] );
+            prop_engines_agree; prop_three_engines_agree; prop_analyzer_clean_executes;
+            prop_inject_repair ] );
       ( "engines",
         [ Alcotest.test_case "error parity" `Quick test_engine_error_parity;
           Alcotest.test_case "float comparison" `Quick test_engine_float_compare ] )

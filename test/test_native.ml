@@ -1,0 +1,318 @@
+(* Native-backend guarantees: the dynlinked engine is observably identical to
+   the closure engine (outputs, stats, traces, error messages), the on-disk
+   artifact cache is transparent (cold vs warm runs byte-identical, corrupted
+   artifacts degrade to a miss, the LRU stays under its byte budget), the
+   fallback path is deterministic when the toolchain is absent, and the
+   pipeline produces byte-identical journals with the backend on at any jobs
+   count. `dune build @native` runs just this suite; it is also attached to
+   `dune runtest`. Everything that needs `ocamlfind ocamlopt` skips cleanly
+   when the toolchain is missing. *)
+
+open Xpiler_ir
+open Xpiler_machine
+open Xpiler_core
+module Rng = Xpiler_util.Rng
+module Pool = Xpiler_util.Pool
+module Kgen = Test_support.Kgen
+module Tcommon = Test_support.Tcommon
+module Journal = Xpiler_obs.Journal
+module Metrics = Xpiler_obs.Metrics
+module Registry = Xpiler_ops.Registry
+module Opdef = Xpiler_ops.Opdef
+
+(* every test runs against a private cache directory so developer caches and
+   parallel test runners never interfere *)
+let cache_root =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xpiler-native-test-%d" (Unix.getpid ()))
+  in
+  Unix.putenv "XPILER_CACHE_DIR" d;
+  d
+
+let fresh_cache =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Unix.putenv "XPILER_CACHE_DIR" (Filename.concat cache_root (string_of_int !n));
+    Native.reset_memo_for_testing ()
+
+let buf_size b = List.assoc b Kgen.buffer_sizes
+let kernel_of_seed seed = Kgen.kernel (Rng.create seed)
+
+let skip_unless_toolchain () =
+  if not (Native.available ()) then
+    Alcotest.skip ()
+
+(* observation of one engine run: stats tuple + scalar-store trace + error *)
+let observe runner k args =
+  let trace = ref [] in
+  match runner ~trace:(fun b i x -> trace := (b, i, x) :: !trace) k args with
+  | Some (s : Interp.stats) ->
+    Ok (s.steps, s.stores, s.intrinsic_elems, s.memcpy_elems, s.barriers, List.rev !trace)
+  | None -> Error "no-native-execution"
+  | exception Interp.Runtime_error m -> Error ("Runtime_error: " ^ m)
+
+let closure_runner ~trace k args = Some (Compile.run ~trace (Compile.cached k) args)
+let native_runner ~trace k args = Native.run ~trace k args
+
+(* the native engine agrees with the closure engine — outputs bit-for-bit,
+   stats, trace stream, error messages — across a generated corpus *)
+let test_native_matches_closure () =
+  skip_unless_toolchain ();
+  fresh_cache ();
+  let checked = ref 0 in
+  List.iter
+    (fun seed ->
+      let k = kernel_of_seed seed in
+      let args = Tcommon.make_args (Rng.create (seed + 2)) ~buf_size k [] in
+      let a_c = Tcommon.clone_args args in
+      let a_n = Tcommon.clone_args args in
+      let r_c = observe closure_runner k a_c in
+      let r_n = observe native_runner k a_n in
+      (match r_n with
+      | Error "no-native-execution" ->
+        Alcotest.failf "seed %d: native backend refused a valid kernel" seed
+      | _ -> ());
+      incr checked;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: engines agree" seed)
+        true
+        (compare r_c r_n = 0 && compare (Tcommon.buffers a_c) (Tcommon.buffers a_n) = 0))
+    [ 0; 3; 17; 42; 100; 271; 828; 1000 ];
+  Alcotest.(check bool) "corpus non-empty" true (!checked > 0)
+
+(* handcrafted dynamic errors: byte-identical Runtime_error messages *)
+let test_error_parity () =
+  skip_unless_toolchain ();
+  fresh_cache ();
+  let open Expr.Infix in
+  let out = Builder.buffer "out" in
+  let mk name body = Kernel.make ~name ~params:[ out ] ~launch:[] body in
+  let cases =
+    [ mk "n_div0"
+        [ Builder.for_ "i" (int 4)
+            [ Builder.let_ "x" (int 7 / (v "i" - v "i"));
+              Builder.store "out" (v "i") (v "x")
+            ]
+        ];
+      mk "n_oob_store" [ Builder.store "out" (int 100_000) (flt 1.0) ];
+      mk "n_oob_load" [ Builder.store "out" (int 0) (load "out" (int (-1))) ];
+      mk "n_neg_extent"
+        [ Builder.for_ "i" (int 0 - int 3) [ Builder.store "out" (v "i") (flt 0.0) ] ];
+      mk "n_fuel" [ Builder.for_ "i" (int 1_000_000) [ Builder.let_ "x" (v "i") ] ]
+    ]
+  in
+  List.iter
+    (fun k ->
+      let args () = [ ("out", Interp.Buf (Tensor.create 1024)) ] in
+      let msg runner =
+        match runner k (args ()) with
+        | Some _ -> Alcotest.failf "%s: expected Runtime_error" k.Kernel.name
+        | None -> Alcotest.failf "%s: native backend refused the kernel" k.Kernel.name
+        | exception Interp.Runtime_error m -> m
+      in
+      let fuel = 1000 in
+      Alcotest.(check string)
+        (k.Kernel.name ^ ": same error")
+        (msg (fun k a -> Some (Compile.run ~fuel (Compile.cached k) a)))
+        (msg (fun k a -> Native.run ~fuel k a)))
+    cases
+
+(* cold vs warm: a fresh-directory (compile) run and a warm-disk (dynlink
+   only) run produce identical outputs and stats, and the second run is
+   served from disk without recompiling *)
+let test_cold_vs_warm () =
+  skip_unless_toolchain ();
+  fresh_cache ();
+  let k = kernel_of_seed 7 in
+  let args = Tcommon.make_args (Rng.create 9) ~buf_size k [] in
+  let a_cold = Tcommon.clone_args args in
+  let a_warm = Tcommon.clone_args args in
+  let r_cold = observe native_runner k a_cold in
+  let info = Native.cache_info () in
+  Alcotest.(check bool) "artifact on disk" true (info.Native.files > 0);
+  let src_before = Native.emit_source k in
+  (* drop the in-process memo: the next run must come from the disk cache *)
+  Native.reset_memo_for_testing ();
+  let r_warm = observe native_runner k a_warm in
+  Alcotest.(check bool) "cold = warm (stats+trace)" true (compare r_cold r_warm = 0);
+  Alcotest.(check bool) "cold = warm (buffers)" true
+    (compare (Tcommon.buffers a_cold) (Tcommon.buffers a_warm) = 0);
+  Alcotest.(check string) "codegen is deterministic" src_before (Native.emit_source k)
+
+(* the stable metrics snapshot — the cross-jobs/cross-run determinism
+   contract — must be untouched by native activity (all native metrics are
+   registered unstable) *)
+let test_stable_metrics_untouched () =
+  skip_unless_toolchain ();
+  fresh_cache ();
+  let k = kernel_of_seed 11 in
+  let args = Tcommon.make_args (Rng.create 4) ~buf_size k [] in
+  let before = Metrics.snapshot ~stable_only:true () in
+  (match Native.run k (Tcommon.clone_args args) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "native run refused");
+  let after = Metrics.snapshot ~stable_only:true () in
+  Alcotest.(check bool) "stable snapshot unchanged" true (before = after)
+
+(* a corrupted or truncated artifact on disk is a cache miss, never a crash.
+   The garbage file is planted before this process ever loads the key — the
+   scenario is an artifact damaged by a crashed writer or bit rot, found at
+   lookup time. (Live artifacts are never overwritten in place: builds land
+   in a scratch directory and are renamed over, so a mapped .cmxs can only
+   be unlinked, never truncated under a running process.) *)
+let test_corrupt_artifact_is_miss () =
+  skip_unless_toolchain ();
+  fresh_cache ();
+  let k = kernel_of_seed 23 in
+  let args = Tcommon.make_args (Rng.create 6) ~buf_size k [] in
+  let dir = Native.cache_dir () in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let planted = Filename.concat dir (Native.kernel_key k ^ ".cmxs") in
+  let oc = open_out_bin planted in
+  output_string oc "corrupt";
+  close_out oc;
+  let r1 = observe native_runner k (Tcommon.clone_args args) in
+  (match r1 with
+  | Error "no-native-execution" -> Alcotest.fail "corrupt artifact was not recompiled"
+  | _ -> ());
+  let a_c = Tcommon.clone_args args in
+  let r_c = observe closure_runner k a_c in
+  Alcotest.(check bool) "recompiled run agrees with closure engine" true (compare r1 r_c = 0);
+  (* the replacement artifact must be valid: a warm re-load still works *)
+  Native.reset_memo_for_testing ();
+  let r2 = observe native_runner k (Tcommon.clone_args args) in
+  Alcotest.(check bool) "replacement artifact loads warm" true (compare r1 r2 = 0)
+
+(* toolchain absent: the backend reports no execution, Interp falls back to
+   the closure engine, and results are exactly the closure engine's *)
+let test_fallback_determinism () =
+  fresh_cache ();
+  Native.set_toolchain_override (Some false);
+  let was = Native.enabled () in
+  Native.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Native.set_toolchain_override None;
+      Native.set_enabled was)
+    (fun () ->
+      let k = kernel_of_seed 31 in
+      let args = Tcommon.make_args (Rng.create 8) ~buf_size k [] in
+      Alcotest.(check bool) "backend declines" true
+        (Native.run k (Tcommon.clone_args args) = None);
+      let a_i = Tcommon.clone_args args in
+      let a_c = Tcommon.clone_args args in
+      let s_i = Interp.run k a_i in
+      let s_c = Compile.run (Compile.cached k) a_c in
+      Alcotest.(check bool) "fallback = closure engine" true
+        (compare s_i s_c = 0 && compare (Tcommon.buffers a_i) (Tcommon.buffers a_c) = 0))
+
+(* the size-bounded LRU keeps the directory under its byte budget *)
+let test_cache_eviction () =
+  skip_unless_toolchain ();
+  fresh_cache ();
+  Native.set_cache_limit_bytes (Some 1);
+  Fun.protect
+    ~finally:(fun () -> Native.set_cache_limit_bytes None)
+    (fun () ->
+      List.iter
+        (fun seed ->
+          let k = kernel_of_seed seed in
+          let args = Tcommon.make_args (Rng.create (seed + 1)) ~buf_size k [] in
+          match Native.run k args with
+          | Some _ -> ()
+          | None -> Alcotest.failf "seed %d: native run refused" seed)
+        [ 51; 52 ];
+      let info = Native.cache_info () in
+      Alcotest.(check bool)
+        (Printf.sprintf "directory evicted under budget (%d bytes left)" info.Native.bytes)
+        true
+        (info.Native.bytes <= 1))
+
+(* cache maintenance: clear removes everything and reports a count *)
+let test_cache_clear () =
+  skip_unless_toolchain ();
+  fresh_cache ();
+  let k = kernel_of_seed 61 in
+  let args = Tcommon.make_args (Rng.create 3) ~buf_size k [] in
+  (match Native.run k args with Some _ -> () | None -> Alcotest.fail "native run refused");
+  let removed = Native.cache_clear () in
+  Alcotest.(check bool) "clear removed files" true (removed > 0);
+  Alcotest.(check int) "directory empty" 0 (Native.cache_info ()).Native.files
+
+(* content keying: structurally equal kernels share a key; the codegen salt
+   separates artifact generations *)
+let test_cache_key () =
+  let k1 = kernel_of_seed 77 in
+  let k2 = kernel_of_seed 77 in
+  let k3 = kernel_of_seed 78 in
+  Alcotest.(check string) "equal kernels, equal key" (Native.kernel_key k1)
+    (Native.kernel_key k2);
+  Alcotest.(check bool) "distinct kernels, distinct keys" true
+    (Native.kernel_key k1 <> Native.kernel_key k3);
+  Alcotest.(check bool) "salt separates generations" true
+    (Kernel.cache_key ~salt:"a" k1 <> Kernel.cache_key ~salt:"b" k1)
+
+(* pipeline determinism with the backend on: jobs=1 and jobs=4 produce
+   byte-identical trace journals, and native-on equals native-off *)
+let gemm = Registry.find_exn "gemm"
+let gemm_shape = List.hd gemm.Opdef.shapes
+
+let traced ~native ~jobs =
+  { (Config.with_jobs
+       (Config.with_trace (Config.with_fault_scale (Config.with_seed Config.default 11) 20.0)
+          Xpiler_obs.Tracer.Detail)
+       jobs)
+    with
+    Config.native_backend = native
+  }
+
+let run_pipeline ~config =
+  Xpiler.transcompile ~config ~src:Platform.Cuda ~dst:Platform.Bang ~op:gemm ~shape:gemm_shape
+    ()
+
+let with_max_domains n f =
+  let prev = Pool.get_max_domains () in
+  Pool.set_max_domains n;
+  Fun.protect ~finally:(fun () -> Pool.set_max_domains prev) f
+
+let test_pipeline_jobs_invariant () =
+  skip_unless_toolchain ();
+  fresh_cache ();
+  with_max_domains 4 @@ fun () ->
+  (* warm the process-global reference-output cache so every compared run is
+     on equal footing (same discipline as the repair hot-path suite) *)
+  ignore (run_pipeline ~config:(traced ~native:false ~jobs:1));
+  let journal o = Journal.encode o.Xpiler.trace in
+  let o_off = run_pipeline ~config:(traced ~native:false ~jobs:1) in
+  let o_n1 = run_pipeline ~config:(traced ~native:true ~jobs:1) in
+  let o_n4 = run_pipeline ~config:(traced ~native:true ~jobs:4) in
+  Alcotest.(check bool) "toggle restored" false (Native.enabled ());
+  Alcotest.(check string) "native on = native off (journal)" (journal o_off) (journal o_n1);
+  Alcotest.(check string) "jobs=1 = jobs=4 with native on (journal)" (journal o_n1)
+    (journal o_n4);
+  Alcotest.(check bool) "same target text" true
+    (o_n1.Xpiler.target_text = o_n4.Xpiler.target_text
+    && o_off.Xpiler.target_text = o_n1.Xpiler.target_text)
+
+let () =
+  Alcotest.run "native"
+    [ ( "parity",
+        [ Alcotest.test_case "native matches closure engine" `Slow test_native_matches_closure;
+          Alcotest.test_case "error-message parity" `Slow test_error_parity
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "cold vs warm identical" `Slow test_cold_vs_warm;
+          Alcotest.test_case "stable metrics untouched" `Slow test_stable_metrics_untouched;
+          Alcotest.test_case "corrupt artifact is a miss" `Slow test_corrupt_artifact_is_miss;
+          Alcotest.test_case "LRU eviction under byte budget" `Slow test_cache_eviction;
+          Alcotest.test_case "cache clear" `Slow test_cache_clear;
+          Alcotest.test_case "content keying" `Quick test_cache_key
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "fallback determinism" `Quick test_fallback_determinism;
+          Alcotest.test_case "jobs invariance with native on" `Slow
+            test_pipeline_jobs_invariant
+        ] )
+    ]
