@@ -13,7 +13,15 @@ let record_and_gate ~bench ~file =
     exit 1
   | Ok entry ->
     let entry = { entry with BH.time = Some (Unix.gettimeofday ()) } in
-    let regs = BH.record entry in
+    let regs =
+      match BH.record entry with
+      | Ok regs -> regs
+      | Error m ->
+        (* a corrupt history means the gate cannot judge anything: fail loud
+           rather than silently passing with no baseline *)
+        Printf.eprintf "history: corrupt %s: %s\n%!" BH.default_path m;
+        exit 1
+    in
     Printf.printf "history: appended %s headline metrics to %s\n%!" bench BH.default_path;
     if regs <> [] then begin
       List.iter

@@ -1,7 +1,7 @@
 (* Auto-tuner search-efficiency benchmark: the pre-PR brute-force search
    (no pruning, no composed candidates, no transposition sharing, no warm
    start) vs the overhauled one, on the same seeds. Writes
-   BENCH_tuning.json (schema xpiler-tuning-bench/v1) into the current
+   BENCH_tuning.json (schema xpiler-tuning-bench/v2) into the current
    directory.
 
    Usage:
@@ -16,7 +16,15 @@
 
    The headline metric is *reward evaluations* — actual Intra.tune runs,
    metered by Transposition.evals — needed to reach the baseline's final
-   best reward. Search is deterministic, so the curves are reproducible. *)
+   best reward. Search is deterministic, so the curves are reproducible.
+
+   The store_warm_start section measures the durable knowledge store
+   (Xpiler_store): a first "process" tunes a kernel with the store
+   attached, the in-memory tables are then cleared (process death), and a
+   second cold process re-tunes the same kernel either from the persisted
+   store or from nothing. The warm arm must reach the cold arm's final
+   best reward in strictly fewer fresh evaluations — that gate always
+   runs, smoke included. *)
 
 open Xpiler_machine
 open Xpiler_ops
@@ -149,6 +157,102 @@ let bench_op name =
   { op_name = name; baseline; tuned; target; base_evals; tuned_evals; prune_stats;
     prune_lossless; tuned_best }
 
+(* ---- durable-store warm start -------------------------------------------
+
+   Cold-process experiment: "process 1" tunes the kernel with the durable
+   store attached (every learned transposition entry and schedule-DB record
+   streams to the write-ahead log), then every in-memory table is cleared —
+   the moral equivalent of the process dying. "Process 2" re-tunes the same
+   kernel per budget, either after replaying the persisted store (warm) or
+   from empty tables (cold). Fresh reward evaluations are the meter; replay
+   is silent, so restored entries never inflate it. *)
+
+module Store = Xpiler_store.Store
+
+type warm_row = {
+  w_op : string;
+  w_target : float;
+  cold : point list;
+  warm : point list;
+  cold_evals : int;
+  warm_evals : int option;
+  store_records : int;
+}
+
+let rm_rf_flat dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let bench_store_warm name =
+  let op = Registry.find_exn name in
+  let shape = List.hd op.Opdef.shapes in
+  let kernel = op.Opdef.serial shape in
+  let buffer_sizes =
+    List.map (fun (b : Opdef.buffer_spec) -> (b.buf_name, b.size shape)) op.Opdef.buffers
+  in
+  let top = List.hd (List.rev budgets) in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xpiler-tuning-store-%d-%s" (Unix.getpid ()) name)
+  in
+  rm_rf_flat dir;
+  let store =
+    match Store.open_store ~dir () with Ok s -> s | Error m -> failwith ("store: " ^ m)
+  in
+  (* process 1: tune at the top budget with the store write-through attached *)
+  let db1 = Schedule_db.create () in
+  Store.attach ~db:db1 store;
+  Transposition.clear ();
+  ignore (Mcts.search ~config:(base_config top) ~buffer_sizes ~share:true ~db:db1 ~platform kernel);
+  Store.detach ();
+  let info = Store.scan store in
+  let store_records =
+    Store.total info.Store.snapshot_records + Store.total info.Store.wal_records
+  in
+  (* process death: no in-memory state survives into either measured arm *)
+  let cold =
+    List.map
+      (fun b ->
+        let db = Schedule_db.create () in
+        run_search ~mode_config:base_config ~share:true ~db:(Some db) ~buffer_sizes kernel b)
+      budgets
+  in
+  let target = (List.hd (List.rev cold)).best in
+  let warm =
+    List.map
+      (fun b ->
+        Transposition.clear ();
+        let db = Schedule_db.create () in
+        ignore (Store.load ~db store);
+        let t0 = now () in
+        let r = Mcts.search ~config:(base_config b) ~buffer_sizes ~share:true ~db ~platform kernel in
+        { sims = b; evals = Transposition.evals (); best = r.Mcts.best_reward;
+          wall = now () -. t0 })
+      budgets
+  in
+  rm_rf_flat dir;
+  let cold_evals =
+    match evals_to cold target with Some e -> e | None -> assert false
+  in
+  let warm_evals = evals_to warm target in
+  (match warm_evals with
+  | Some w when w < cold_evals -> ()
+  | Some w ->
+    Printf.eprintf "FAIL: warm start from the store did not save evals on %s: %d >= %d\n"
+      name w cold_evals
+  | None ->
+    Printf.eprintf "FAIL: warm start from the store never reached %.6g on %s\n" target name);
+  Printf.printf
+    "%-12s store warm start: %4d cold evals | %s warm evals | %d persisted record(s)\n%!"
+    name cold_evals
+    (match warm_evals with Some e -> Printf.sprintf "%4d" e | None -> "  na")
+    store_records;
+  { w_op = name; w_target = target; cold; warm; cold_evals; warm_evals; store_records }
+
+let warm_row_ok r = match r.warm_evals with Some w -> w < r.cold_evals | None -> false
+
 let json_curve oc points =
   List.iteri
     (fun i p ->
@@ -161,8 +265,9 @@ let json_curve oc points =
 let () =
   Printf.printf "auto-tuner search-efficiency benchmark%s\n%!" (if smoke then " (smoke)" else "");
   let rows = List.map bench_op bench_ops in
+  let warm_rows = List.map bench_store_warm bench_ops in
   let oc = open_out "BENCH_tuning.json" in
-  Printf.fprintf oc "{\n  \"schema\": \"xpiler-tuning-bench/v1\",\n  \"smoke\": %b,\n" smoke;
+  Printf.fprintf oc "{\n  \"schema\": \"xpiler-tuning-bench/v2\",\n  \"smoke\": %b,\n" smoke;
   Printf.fprintf oc "  \"budgets\": [%s],\n"
     (String.concat ", " (List.map string_of_int budgets));
   Printf.fprintf oc "  \"kernels\": [\n";
@@ -192,9 +297,38 @@ let () =
         (if i = List.length rows - 1 then "" else ",")
       )
     rows;
-  Printf.fprintf oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n";
+  let warm_reduction r =
+    match r.warm_evals with
+    | Some w when r.cold_evals > 0 -> 1.0 -. (float_of_int w /. float_of_int r.cold_evals)
+    | _ -> 0.0
+  in
+  Printf.fprintf oc "  \"store_warm_start\": {\n    \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "      {\"op\": %S,\n" r.w_op;
+      Printf.fprintf oc "        \"target_reward\": %.6e,\n" r.w_target;
+      Printf.fprintf oc "        \"store_records\": %d,\n" r.store_records;
+      Printf.fprintf oc "        \"cold\": [\n";
+      json_curve oc r.cold;
+      Printf.fprintf oc "        ],\n        \"warm\": [\n";
+      json_curve oc r.warm;
+      Printf.fprintf oc "        ],\n";
+      Printf.fprintf oc "        \"cold_evals_to_target\": %d,\n" r.cold_evals;
+      (match r.warm_evals with
+      | Some e -> Printf.fprintf oc "        \"warm_evals_to_target\": %d,\n" e
+      | None -> Printf.fprintf oc "        \"warm_evals_to_target\": null,\n");
+      Printf.fprintf oc "        \"warm_reduction\": %.3f}%s\n" (warm_reduction r)
+        (if i = List.length warm_rows - 1 then "" else ","))
+    warm_rows;
+  Printf.fprintf oc "    ],\n    \"warm_reduction_mean\": %.3f\n  }\n"
+    (List.fold_left (fun a r -> a +. warm_reduction r) 0.0 warm_rows
+    /. float_of_int (List.length warm_rows));
+  Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "wrote BENCH_tuning.json\n%!";
-  if List.exists (fun r -> r.tuned_best < r.target || not r.prune_lossless) rows then
-    exit 1;
+  if
+    List.exists (fun r -> r.tuned_best < r.target || not r.prune_lossless) rows
+    || not (List.for_all warm_row_ok warm_rows)
+  then exit 1;
   History_gate.record_and_gate ~bench:"tuning" ~file:"BENCH_tuning.json"

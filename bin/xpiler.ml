@@ -98,6 +98,26 @@ let native_arg =
   in
   Arg.(value & flag & info [ "native" ] ~doc)
 
+let store_dir_arg =
+  let doc =
+    "Durable knowledge store directory: the warm-start schedule DB, transposition \
+     table and solver memo are loaded from it before translating and written through \
+     (append-only WAL + snapshots) during it, so later processes warm-start from this \
+     run's learning. Defaults to \\$XPILER_STORE_DIR when that is set. Persisted \
+     entries carry their effect receipts: results and traces are identical with or \
+     without the store — only evals-to-target and wall-clock change."
+  in
+  Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR" ~doc)
+
+let no_store_arg =
+  let doc = "Ignore \\$XPILER_STORE_DIR and run without the durable knowledge store." in
+  Arg.(value & flag & info [ "no-store" ] ~doc)
+
+(* CLI precedence: explicit flag > environment > off; --no-store vetoes both *)
+let effective_store_dir store_dir no_store =
+  if no_store then None
+  else match store_dir with Some d -> Some d | None -> Xpiler_store.Store.env_dir ()
+
 let trace_arg =
   let doc =
     "Write a JSONL trace journal of the translation to $(docv) (replay it with `xpiler \
@@ -136,7 +156,8 @@ let find_op name =
 (* ---- translate ------------------------------------------------------------ *)
 
 let translate op_name shape src dst tune seed jobs no_prune no_warm_start max_escalation
-    no_rollback no_speculative_repair fault_scale native trace trace_level =
+    no_rollback no_speculative_repair fault_scale native store_dir no_store trace
+    trace_level =
   let op = find_op op_name in
   let shape = parse_shape op shape in
   let config =
@@ -149,7 +170,8 @@ let translate op_name shape src dst tune seed jobs no_prune no_warm_start max_es
         tuning_warm_start = not no_warm_start;
         rollback = not no_rollback;
         speculative_repair = not no_speculative_repair;
-        native_backend = native
+        native_backend = native;
+        store_dir = effective_store_dir store_dir no_store
       }
     in
     let base = Config.with_max_escalation base max_escalation in
@@ -194,8 +216,8 @@ let translate_cmd =
     Term.(
       const translate $ op_arg $ shape_arg $ src_arg $ dst_arg $ tune_arg $ seed_arg
       $ jobs_arg $ no_prune_arg $ no_warm_start_arg $ max_escalation_arg $ no_rollback_arg
-      $ no_speculative_repair_arg $ fault_scale_arg $ native_arg $ trace_arg
-      $ trace_level_arg)
+      $ no_speculative_repair_arg $ fault_scale_arg $ native_arg $ store_dir_arg
+      $ no_store_arg $ trace_arg $ trace_level_arg)
 
 (* ---- show-source ----------------------------------------------------------- *)
 
@@ -346,8 +368,8 @@ let trace_cmd =
 (* run a translation with the registry and the wall-clock profiler on, then
    print the registry snapshot and wall-vs-virtual stage tables; tuning is on
    by default so the cache/transposition meters have something to show *)
-let metrics_run op_name shape src dst no_tune seed jobs fault_scale native openmetrics_out
-    json_out =
+let metrics_run op_name shape src dst no_tune seed jobs fault_scale native store_dir
+    no_store openmetrics_out json_out =
   let op = find_op op_name in
   let shape = parse_shape op shape in
   let config =
@@ -358,7 +380,12 @@ let metrics_run op_name shape src dst no_tune seed jobs fault_scale native openm
     (* root-parallel search batches share the transposition table, which is
        what makes its hit/miss meters informative in a single run *)
     let mcts = { base.Config.mcts with Xpiler_tuning.Mcts.root_parallel = 4 } in
-    { base with Config.profile = true; mcts; native_backend = native }
+    { base with
+      Config.profile = true;
+      mcts;
+      native_backend = native;
+      store_dir = effective_store_dir store_dir no_store
+    }
   in
   Xpiler_obs.Metrics.reset ();
   Xpiler_obs.Prof.reset ();
@@ -415,7 +442,8 @@ let metrics_cmd =
   Cmd.v info
     Term.(
       const metrics_run $ op_arg $ shape_arg $ src_arg $ dst_arg $ no_tune_flag $ seed_arg
-      $ jobs_arg $ fault_scale_arg $ native_arg $ openmetrics_opt $ json_opt)
+      $ jobs_arg $ fault_scale_arg $ native_arg $ store_dir_arg $ no_store_arg
+      $ openmetrics_opt $ json_opt)
 
 (* ---- bench-diff -------------------------------------------------------------- *)
 
@@ -550,6 +578,76 @@ let cache_cmd =
   in
   Cmd.v info Term.(const cache $ clear_flag)
 
+(* ---- store ------------------------------------------------------------------- *)
+
+let store_action dir action =
+  let module Store = Xpiler_store.Store in
+  let dir =
+    match (dir, Store.env_dir ()) with
+    | Some d, _ -> d
+    | None, Some d -> d
+    | None, None ->
+      Printf.eprintf "store: no directory (pass --dir or set $XPILER_STORE_DIR)\n";
+      exit 2
+  in
+  let t =
+    match Store.open_store ~dir () with
+    | Ok t -> t
+    | Error m ->
+      Printf.eprintf "store: %s\n" m;
+      exit 2
+  in
+  let print_counts label (c : Store.counts) =
+    Printf.printf "%-10s schedule %d | transposition %d | solver memo %d  (total %d)\n" label
+      c.Store.schedule c.Store.transposition c.Store.solver_memo (Store.total c)
+  in
+  match action with
+  | `Stats ->
+    let info = Store.scan t in
+    Printf.printf "dir:    %s\n" info.Store.info_dir;
+    Printf.printf "shards: %d\n" info.Store.info_shards;
+    print_counts "snapshot:" info.Store.snapshot_records;
+    print_counts "wal:" info.Store.wal_records;
+    Printf.printf "bytes:  %d (%.1f KiB)\n" info.Store.bytes
+      (float_of_int info.Store.bytes /. 1024.0);
+    if info.Store.damaged then
+      Printf.printf "damaged: yes (torn tails load as a valid prefix; compact to heal)\n"
+  | `Compact -> (
+    match Store.compact t with
+    | Ok s ->
+      Printf.printf "compacted %d record(s) into %d (%d bytes) in %s\n" s.Store.records_in
+        s.Store.records_out s.Store.bytes dir
+    | Error m ->
+      Printf.eprintf "store: %s\n" m;
+      exit 2)
+  | `Clear ->
+    let removed = Store.clear_files t in
+    Printf.printf "removed %d shard file%s from %s\n" removed
+      (if removed = 1 then "" else "s")
+      dir
+
+let store_cmd =
+  let info =
+    Cmd.info "store"
+      ~doc:
+        "Inspect the durable knowledge store ($(b,stats), the default), fold its \
+         write-ahead logs into fresh snapshots ($(b,compact)), or delete its contents \
+         ($(b,clear)). The store persists the warm-start schedule DB, transposition \
+         table and solver memo under \\$XPILER_STORE_DIR (or $(b,--dir)); it is safe \
+         to delete at any time — later runs simply start cold."
+  in
+  let action_pos =
+    let action_conv =
+      Arg.enum [ ("stats", `Stats); ("compact", `Compact); ("clear", `Clear) ]
+    in
+    Arg.(value & pos 0 action_conv `Stats & info [] ~docv:"ACTION")
+  in
+  let dir_opt =
+    let doc = "Store directory (default: \\$XPILER_STORE_DIR)." in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v info Term.(const store_action $ dir_opt $ action_pos)
+
 (* ---- manual ------------------------------------------------------------------ *)
 
 let manual platform query =
@@ -571,4 +669,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ translate_cmd; show_source_cmd; list_ops_cmd; lint_cmd; trace_cmd; metrics_cmd;
-            bench_diff_cmd; cache_cmd; manual_cmd ]))
+            bench_diff_cmd; cache_cmd; store_cmd; manual_cmd ]))

@@ -48,6 +48,7 @@ type t = {
   trace_sink : string option;
   profile : bool;
   native_backend : bool;
+  store_dir : string option;
 }
 
 let default =
@@ -70,7 +71,8 @@ let default =
     trace_level = Xpiler_obs.Tracer.Off;
     trace_sink = None;
     profile = false;
-    native_backend = false
+    native_backend = false;
+    store_dir = None
   }
 
 (* the pre-resilience pipeline: SMT repair only, a Gave_up commits the broken

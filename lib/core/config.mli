@@ -71,6 +71,15 @@ type t = {
           [Dynlink], disk-cached artifacts) for the duration of the
           translation; any kernel the backend cannot handle falls back to
           the closure engine, so results are identical either way. *)
+  store_dir : string option;
+      (** When set, the durable knowledge store at this directory is loaded
+          into the schedule DB / transposition table / solver memo before
+          the translation and kept write-through for its duration (see
+          [Xpiler_store.Store]). Persisted entries carry their effect
+          receipts, so a cold process warm-starting from disk is observably
+          identical to a warm in-process run — results and traces never
+          change, only evals-to-target and wall-clock do. The CLI defaults
+          this from [$XPILER_STORE_DIR]. *)
 }
 
 val default : t

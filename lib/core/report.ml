@@ -70,7 +70,7 @@ let to_csv t =
   Buffer.contents buf
 
 let save_csv ?(dir = "results") ~name t =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Xpiler_util.Fsx.mkdir_p dir;
   let path = Filename.concat dir (name ^ ".csv") in
   let oc = open_out path in
   output_string oc (to_csv t);

@@ -133,6 +133,18 @@ let shape_to_string shape =
   String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) shape)
 
 let transcompile ?(config = Config.default) ~src ~dst ~op ~shape () =
+  (* durable knowledge store: load-and-attach once per process (idempotent
+     per directory) so the schedule DB / transposition table / solver memo
+     warm-start from prior runs and write through from this one. Purely a
+     time optimization: persisted entries replay their effect receipts, so
+     results and traces are unchanged. A store that cannot be opened is a
+     warning, not a failure — the translation proceeds cold. *)
+  (match config.Config.store_dir with
+  | Some dir -> (
+    match Xpiler_store.Store.ensure ~dir () with
+    | Ok _ -> ()
+    | Error m -> Printf.eprintf "warning: knowledge store disabled: %s\n%!" m)
+  | None -> ());
   let clock = Vclock.create () in
   (* tracing: a tracer of our own when the config asks for one, else reuse
      an ambient tracer a caller (e.g. the bench harness) installed; either

@@ -135,11 +135,7 @@ let cache_limit_bytes () =
       | _ -> 512 * 1024 * 1024)
     | None -> 512 * 1024 * 1024)
 
-let rec mkdir_p d =
-  if d <> "" && d <> "/" && not (Sys.file_exists d) then begin
-    mkdir_p (Filename.dirname d);
-    try Unix.mkdir d 0o755 with Unix.Unix_error ((EEXIST | EISDIR), _, _) -> ()
-  end
+let mkdir_p = Xpiler_util.Fsx.mkdir_p
 
 let kernel_key k = Kernel.cache_key ~salt:codegen_version k
 

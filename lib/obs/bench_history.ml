@@ -23,7 +23,7 @@ let default_path = "results/history.jsonl"
 let append ?(path = default_path) e =
   (match Filename.dirname path with
   | "" | "." -> ()
-  | dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+  | dir -> Xpiler_util.Fsx.mkdir_p dir);
   let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -110,10 +110,22 @@ let of_bench_json ~bench j =
     | "tuning" ->
       let reductions = kernel_floats "eval_reduction" j in
       let ratios = kernel_floats "best_reward_ratio" j in
+      (* absent (not 0.0) on schema-v1 files that predate the durable store,
+         so histories spanning the schema change skip the spec instead of
+         reading the old runs as total regressions *)
+      let store_warm =
+        match Json.member "store_warm_start" j with
+        | Some s -> (
+          match mfloat "warm_reduction_mean" s with
+          | Some v -> [ ("store_warm_reduction_mean", v) ]
+          | None -> [])
+        | None -> []
+      in
       [
         ("best_reward_ratio_min", List.fold_left Float.min infinity (1.0 :: ratios));
         ("eval_reduction_mean", mean reductions);
       ]
+      @ store_warm
     | "resilience" ->
       [
         ("ladder_broken", Option.value ~default:0.0 (mfloat "total_ladder_broken" j));
@@ -163,6 +175,9 @@ let specs = function
     [
       { metric = "eval_reduction_mean"; direction = Higher; noise = Exact; rel_threshold = 0.15; abs_slack = 0.05; gated = true };
       { metric = "best_reward_ratio_min"; direction = Higher; noise = Exact; rel_threshold = 0.05; abs_slack = 0.0; gated = true };
+      (* deterministic eval counts, like eval_reduction_mean; only present
+         on schema-v2 BENCH_tuning.json files (diff skips absent metrics) *)
+      { metric = "store_warm_reduction_mean"; direction = Higher; noise = Exact; rel_threshold = 0.15; abs_slack = 0.05; gated = true };
     ]
   | "resilience" ->
     [
@@ -223,10 +238,24 @@ let diff ?(threshold_scale = 1.0) ?(exact_only = false) ~history current =
                 | Higher -> (base -. cur, "below")
                 | Lower -> (cur -. base, "above")
               in
-              let rel_drop = if Float.abs base > 0.0 then drop /. Float.abs base else drop in
+              (* zero baseline: a relative drop is undefined, and treating the
+                 *absolute* drop as a ratio silently compared incomparable
+                 units (a metric like ladder_broken moving off a zero median
+                 slipped past large thresholds). Semantics: any worsening move
+                 off a zero baseline is an unbounded relative change, so only
+                 the absolute slack can excuse it. *)
+              let rel_drop =
+                if Float.abs base > 0.0 then drop /. Float.abs base
+                else if drop > 0.0 then Float.infinity
+                else 0.0
+              in
               let regressed = spec.gated && drop > slack && rel_drop > thr in
               let detail =
-                if regressed then
+                if regressed && Float.abs base = 0.0 then
+                  Printf.sprintf
+                    "%.4g is %s the zero median of %d run(s) by more than the %.4g slack" cur
+                    direction_word (List.length past) slack
+                else if regressed then
                   Printf.sprintf "%.4g is %.0f%% %s the median of %d run(s) (%.4g); threshold %.0f%%"
                     cur (rel_drop *. 100.0) direction_word (List.length past) base (thr *. 100.0)
                 else if spec.gated then Printf.sprintf "ok (median of %d run(s): %.4g)" (List.length past) base
@@ -240,7 +269,12 @@ let diff ?(threshold_scale = 1.0) ?(exact_only = false) ~history current =
 let regressions verdicts = List.filter (fun v -> v.regressed) verdicts
 
 let record ?path ?(exact_only = true) entry =
-  let prior = match load ?path () with Ok h -> h | Error _ -> [] in
-  let verdicts = diff ~exact_only ~history:prior entry in
-  append ?path entry;
-  regressions verdicts
+  (* a corrupt history is an error, not an empty baseline: silently treating
+     it as empty made the watchdog pass with nothing to compare against and
+     then kept appending to the broken file *)
+  match load ?path () with
+  | Error m -> Error m
+  | Ok prior ->
+    let verdicts = diff ~exact_only ~history:prior entry in
+    append ?path entry;
+    Ok (regressions verdicts)

@@ -73,11 +73,19 @@ val diff : ?threshold_scale:float -> ?exact_only:bool -> history:entry list -> e
 (** One verdict per spec'd metric present in [entry]. [threshold_scale]
     multiplies both the relative threshold and the absolute slack
     (CLI [--threshold]); [exact_only] (default false) skips [Wall]-noise
-    metrics. No matching history → baseline [None], never regressed. *)
+    metrics. No matching history → baseline [None], never regressed.
+
+    {b Zero baselines.} When the history median is exactly [0.0] a relative
+    drop is undefined; any worsening move is treated as an unbounded
+    relative change, so it regresses iff the absolute drop exceeds
+    [abs_slack] (scaled). Improvements and no-changes never regress. *)
 
 val regressions : verdict list -> verdict list
 
-val record : ?path:string -> ?exact_only:bool -> entry -> verdict list
+val record : ?path:string -> ?exact_only:bool -> entry -> (verdict list, string) result
 (** Diff the entry against the existing history, {e then} append it, and
     return the regressions (with [exact_only] defaulting to [true] — this
-    is the self-check the bench smoke gates call before exiting). *)
+    is the self-check the bench smoke gates call before exiting). A
+    corrupt/unreadable history file is an [Error] (nothing is appended):
+    treating it as empty history would silently disarm the watchdog while
+    growing the broken file. *)

@@ -65,6 +65,11 @@ let enabled = ref true
 let hit_count = ref 0
 let miss_count = ref 0
 
+(* durable-store hook: called outside the mutex on every fresh [store];
+   [restore] bypasses it so log replay never echoes back to disk *)
+let observer : (Key.t -> entry -> unit) option ref = ref None
+let set_observer o = Mutex.protect mutex (fun () -> observer := o)
+
 let set_enabled b = Mutex.protect mutex (fun () -> enabled := b)
 let is_enabled () = Mutex.protect mutex (fun () -> !enabled)
 
@@ -90,12 +95,27 @@ let evict_half_locked () =
   List.iteri (fun i k -> if i land 1 = 0 then KTbl.remove table k) keys
 
 let store ~mode ~max_steps problem entry =
+  let key = { Key.mode; max_steps; problem } in
+  let obs =
+    Mutex.protect mutex (fun () ->
+        if !enabled then begin
+          if KTbl.length table >= capacity then evict_half_locked ();
+          KTbl.replace table key entry;
+          Metrics.set m_entries (float_of_int (KTbl.length table));
+          !observer
+        end
+        else None)
+  in
+  match obs with Some f -> f key entry | None -> ()
+
+let restore key entry =
   Mutex.protect mutex (fun () ->
-      if !enabled then begin
-        if KTbl.length table >= capacity then evict_half_locked ();
-        KTbl.replace table { Key.mode; max_steps; problem } entry;
-        Metrics.set m_entries (float_of_int (KTbl.length table))
-      end)
+      (* capacity still applies, but silently (no eviction effects) *)
+      if KTbl.length table >= capacity then evict_half_locked ();
+      KTbl.replace table key entry;
+      Metrics.set m_entries (float_of_int (KTbl.length table)))
+
+let fold f acc = Mutex.protect mutex (fun () -> KTbl.fold f table acc)
 
 let hits () = Mutex.protect mutex (fun () -> !hit_count)
 let misses () = Mutex.protect mutex (fun () -> !miss_count)

@@ -12,6 +12,15 @@
 
 type mode = Solve | Models of { limit : int }
 
+(** The full memo key, exposed for the durable store (snapshot dumps,
+    write-ahead-log records and last-wins compaction). *)
+module Key : sig
+  type t = { mode : mode; max_steps : int; problem : Problem.t }
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
 type payload =
   | Outcome of Problem.outcome
   | Model_list of (string * int) list list
@@ -35,3 +44,19 @@ val misses : unit -> int
 val size : unit -> int
 val reset_stats : unit -> unit
 val clear : unit -> unit
+
+(** {2 Durable-store integration} (see [Xpiler_store.Store]) *)
+
+val restore : Key.t -> entry -> unit
+(** Reinsert a persisted entry — silent (no hit/miss counts, no observer),
+    and unconditional: it works even while the memo is disabled, so a
+    bench's cold arm can still be rebuilt explicitly. Capacity eviction
+    still applies. *)
+
+val fold : (Key.t -> entry -> 'a -> 'a) -> 'a -> 'a
+(** Fold over the live entries (order unspecified), for snapshot dumps. *)
+
+val set_observer : (Key.t -> entry -> unit) option -> unit
+(** Hook called (outside the memo mutex) on every fresh {!store} while the
+    memo is enabled; the durable store uses it to append to its
+    write-ahead log. *)

@@ -1,0 +1,48 @@
+(** Framed, checksummed record files — the byte-level layer shared by the
+    durable store's write-ahead logs and snapshots.
+
+    {b File format} (both file kinds, differing only in magic):
+    {v
+    8 bytes   magic: "XPWAL01\n" (log) or "XPSNAP1\n" (snapshot)
+    repeated  frame:
+      4 bytes   payload length, u32 big-endian
+      4 bytes   FNV-1a/32 checksum of the payload, u32 big-endian
+      N bytes   payload (opaque to this layer)
+    v}
+
+    The reader walks frames and stops at the first short or
+    checksum-failing one: a torn tail (a crash mid-append) therefore loads
+    as the valid prefix, never as an error, and {!open_append} truncates
+    the garbage away before new frames go after it. *)
+
+val wal_magic : string
+val snap_magic : string
+
+val checksum : string -> int
+(** FNV-1a, 32-bit (exposed for corruption-injection tests). *)
+
+val frame : string -> string
+(** A payload's on-disk bytes (header + payload). *)
+
+val append : out_channel -> string -> unit
+(** Write one frame and flush. *)
+
+type read =
+  | Missing  (** no such file *)
+  | Bad_header  (** unreadable, empty, or wrong magic: no valid prefix at all *)
+  | Data of {
+      payloads : string list;  (** the valid prefix, in write order *)
+      valid_len : int;  (** byte length of header + valid frames *)
+      torn : bool;  (** trailing bytes were dropped *)
+    }
+
+val read : magic:string -> string -> read
+
+val create : magic:string -> string -> unit
+(** (Re)write the file as empty: just the magic. *)
+
+val truncate : string -> int -> unit
+
+val open_append : magic:string -> string -> out_channel
+(** Open for appending, repairing first: missing or header-corrupt files
+    are recreated empty, torn tails are truncated to the valid prefix. *)

@@ -27,10 +27,20 @@ let m_misses = Metrics.counter ~labels:[ ("result", "miss") ] "xpiler_schedule_d
 let m_records = Metrics.counter ~help:"schedule DB entries recorded" "xpiler_schedule_db_records_total"
 
 type entry = { specs : Pass.spec list; reward : float }
-type t = { mutex : Mutex.t; tbl : (int, entry) Hashtbl.t }
 
-let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 64 }
+type t = {
+  mutex : Mutex.t;
+  tbl : (int, entry) Hashtbl.t;
+  (* durable-store hook: called (outside the mutex) with the signature of
+     every entry a search actually records, so the store can append it to
+     its write-ahead log; [restore] bypasses it to avoid echoing replayed
+     records back to disk *)
+  mutable observer : (int -> entry -> unit) option;
+}
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 64; observer = None }
 let default = create ()
+let set_observer t o = Mutex.protect t.mutex (fun () -> t.observer <- o)
 
 (* structural hash with integer literals wildcarded; mirrors Kernel.hash
    but folds every [Int _] (loop extents, indices, alloc sizes, launch
@@ -95,9 +105,21 @@ let lookup t platform k =
 let record t platform k ~specs ~reward =
   if specs <> [] && reward > 0.0 then begin
     Metrics.inc m_records;
-    Mutex.protect t.mutex (fun () ->
-        Hashtbl.replace t.tbl (signature platform k) { specs; reward })
+    let s = signature platform k in
+    let e = { specs; reward } in
+    let observer =
+      Mutex.protect t.mutex (fun () ->
+          Hashtbl.replace t.tbl s e;
+          t.observer)
+    in
+    match observer with Some f -> f s e | None -> ()
   end
+
+let restore t ~signature entry =
+  Mutex.protect t.mutex (fun () -> Hashtbl.replace t.tbl signature entry)
+
+let fold t f acc =
+  Mutex.protect t.mutex (fun () -> Hashtbl.fold f t.tbl acc)
 
 let size t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.tbl)
 let clear t = Mutex.protect t.mutex (fun () -> Hashtbl.reset t.tbl)

@@ -41,3 +41,19 @@ val record : t -> Platform.id -> Kernel.t -> specs:Pass.spec list -> reward:floa
 
 val size : t -> int
 val clear : t -> unit
+
+(** {2 Durable-store integration} (see [Xpiler_store.Store]) *)
+
+val restore : t -> signature:int -> entry -> unit
+(** Reinsert a persisted entry under its recorded signature. Unlike
+    {!record} this is silent — no metrics, no observer — so replaying a
+    log never re-journals or re-counts what the original run already did. *)
+
+val fold : t -> (int -> entry -> 'a -> 'a) -> 'a -> 'a
+(** Fold over [(signature, entry)] pairs (order unspecified), for snapshot
+    dumps. *)
+
+val set_observer : t -> (int -> entry -> unit) option -> unit
+(** Hook called (outside the database mutex) with every entry {!record}
+    actually inserts; the durable store uses it to append to its
+    write-ahead log. At most one observer; [None] detaches. *)

@@ -77,6 +77,12 @@ let capacity = 65536
 let mutex = Mutex.create ()
 let table : entry KTbl.t = KTbl.create 1024
 
+(* durable-store hook: called outside the mutex on every fresh [store]
+   (worker domains included — the observer must synchronize internally);
+   [restore] bypasses it so log replay never echoes back to disk *)
+let observer : (Key.t -> entry -> unit) option ref = ref None
+let set_observer o = Mutex.protect mutex (fun () -> observer := o)
+
 (* stats are plain counters under the same mutex; [evals] additionally
    counts fresh reward evaluations (including ones made with sharing off, so
    benches can compare baseline and shared searches with one meter) *)
@@ -115,17 +121,32 @@ let evict_half_locked () =
   !dropped
 
 let store ~platform ~budget ~prune ~compose kernel entry =
-  let dropped, entries =
+  let k = key ~platform ~budget ~prune ~compose kernel in
+  let dropped, entries, obs =
     Mutex.protect mutex (fun () ->
         let dropped = if KTbl.length table >= capacity then evict_half_locked () else 0 in
-        KTbl.replace table (key ~platform ~budget ~prune ~compose kernel) entry;
-        (dropped, KTbl.length table))
+        KTbl.replace table k entry;
+        (dropped, KTbl.length table, !observer))
   in
   Metrics.set m_entries (float_of_int entries);
   if dropped > 0 then begin
     Metrics.inc ~n:dropped m_evictions;
     Trace.count ~n:dropped "mcts.tt_evictions"
-  end
+  end;
+  match obs with Some f -> f k entry | None -> ()
+
+let restore k entry =
+  let entries =
+    Mutex.protect mutex (fun () ->
+        (* capacity still applies, but silently: a replay must not emit the
+           eviction trace counts the original run never produced *)
+        if KTbl.length table >= capacity then ignore (evict_half_locked ());
+        KTbl.replace table k entry;
+        KTbl.length table)
+  in
+  Metrics.set m_entries (float_of_int entries)
+
+let fold f acc = Mutex.protect mutex (fun () -> KTbl.fold f table acc)
 
 let count_eval () =
   Metrics.inc m_evals;

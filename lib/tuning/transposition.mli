@@ -26,6 +26,21 @@ type entry = {
   pruned : int;  (** intra variants skipped by bound-based pruning *)
 }
 
+(** The full table key, exposed for the durable store (snapshot dumps,
+    write-ahead-log records and last-wins compaction). *)
+module Key : sig
+  type t = {
+    platform : Platform.id;
+    budget : int;
+    prune : bool;
+    compose : bool;
+    kernel : Xpiler_ir.Kernel.t;
+  }
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
 val find :
   platform:Platform.id -> budget:int -> prune:bool -> compose:bool ->
   Xpiler_ir.Kernel.t -> entry option
@@ -50,3 +65,18 @@ val reset_stats : unit -> unit
 
 val clear : unit -> unit
 (** Drop all entries and zero the counters (bench/test isolation). *)
+
+(** {2 Durable-store integration} (see [Xpiler_store.Store]) *)
+
+val restore : Key.t -> entry -> unit
+(** Reinsert a persisted entry. Silent — no hit/miss counts, no eviction
+    traces, no observer — so replaying a log emits none of the effects the
+    original run already journaled. Capacity eviction still applies. *)
+
+val fold : (Key.t -> entry -> 'a -> 'a) -> 'a -> 'a
+(** Fold over the live entries (order unspecified), for snapshot dumps. *)
+
+val set_observer : (Key.t -> entry -> unit) option -> unit
+(** Hook called on every fresh {!store} — outside the table mutex, possibly
+    from pool worker domains, so the observer must synchronize internally.
+    The durable store uses it to append to its write-ahead log. *)

@@ -474,6 +474,107 @@ let test_of_bench_file_and_regression () =
       Alcotest.(check bool) "smoke and full runs never compare" true
         (List.for_all (fun (x : BH.verdict) -> x.BH.baseline = None && not x.BH.regressed) v))
 
+let test_history_zero_baseline () =
+  (* a zero median makes the relative drop undefined; the defined semantics:
+     any worsening move off zero is an unbounded relative change, so only
+     the absolute slack can excuse it (eval_reduction_mean: Higher, slack
+     0.05) *)
+  let hist = [ entry "tuning" [ ("eval_reduction_mean", 0.0); ("best_reward_ratio_min", 1.0) ] ] in
+  let v_of m verdicts = List.find (fun (v : BH.verdict) -> v.BH.metric = m) verdicts in
+  let worse = entry "tuning" [ ("eval_reduction_mean", -0.5); ("best_reward_ratio_min", 1.0) ] in
+  let v = v_of "eval_reduction_mean" (BH.diff ~history:hist worse) in
+  Alcotest.(check bool) "beyond-slack move off zero regresses" true v.BH.regressed;
+  Alcotest.(check bool) "detail names the zero median" true
+    (let needle = "zero median" in
+     let len = String.length needle in
+     let rec has i =
+       i + len <= String.length v.BH.detail && (String.sub v.BH.detail i len = needle || has (i + 1))
+     in
+     has 0);
+  let within = entry "tuning" [ ("eval_reduction_mean", -0.04); ("best_reward_ratio_min", 1.0) ] in
+  Alcotest.(check bool) "within-slack move off zero passes" false
+    (v_of "eval_reduction_mean" (BH.diff ~history:hist within)).BH.regressed;
+  let better = entry "tuning" [ ("eval_reduction_mean", 0.3); ("best_reward_ratio_min", 1.0) ] in
+  Alcotest.(check bool) "improvement off zero passes" false
+    (v_of "eval_reduction_mean" (BH.diff ~history:hist better)).BH.regressed
+
+let test_history_record_corrupt () =
+  let path = Filename.temp_file "xpiler_hist" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let e = entry "tuning" [ ("eval_reduction_mean", 0.5) ] in
+      (* intact history: record appends and reports verdicts *)
+      (match BH.record ~path e with
+      | Ok [] -> ()
+      | Ok _ -> Alcotest.fail "no history yet, nothing can regress"
+      | Error m -> Alcotest.fail m);
+      (* corrupt history: record must surface the error, not append to the
+         broken file as if the baseline were merely empty *)
+      let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+      output_string oc "{not json\n";
+      close_out oc;
+      let size_before = (Unix.stat path).Unix.st_size in
+      (match BH.record ~path e with
+      | Ok _ -> Alcotest.fail "corrupt history must be an error"
+      | Error _ -> ());
+      Alcotest.(check int) "nothing appended past the corruption" size_before
+        (Unix.stat path).Unix.st_size)
+
+let doctored_tuning_bench path ~store_warm =
+  let oc = open_out path in
+  Printf.fprintf oc
+    {|{
+  "schema": "xpiler-tuning-bench/v2", "smoke": true,
+  "kernels": [
+    {"op": "gemm", "eval_reduction": 0.5, "best_reward_ratio": 1.0},
+    {"op": "softmax", "eval_reduction": 0.3, "best_reward_ratio": 1.0}
+  ]%s
+}
+|}
+    (match store_warm with
+    | Some mean ->
+      Printf.sprintf
+        {|,
+  "store_warm_start": {"kernels": [{"op": "gemm", "warm_reduction": %f}], "warm_reduction_mean": %f}|}
+        mean mean
+    | None -> "");
+  close_out oc
+
+let test_store_warm_metric_absent_not_zero () =
+  let path = Filename.temp_file "xpiler_benchtuning" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (* pre-store (v1-shaped) file: the metric must be absent, so histories
+         spanning the schema change skip the spec instead of reading the old
+         runs as total regressions *)
+      doctored_tuning_bench path ~store_warm:None;
+      let old_run =
+        match BH.of_bench_file ~bench:"tuning" path with Ok e -> e | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check (option (float 1e-9))) "absent without store section" None
+        (List.assoc_opt "store_warm_reduction_mean" old_run.BH.metrics);
+      doctored_tuning_bench path ~store_warm:(Some 0.9);
+      let current =
+        match BH.of_bench_file ~bench:"tuning" path with Ok e -> e | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check (option (float 1e-6))) "extracted when present" (Some 0.9)
+        (List.assoc_opt "store_warm_reduction_mean" current.BH.metrics);
+      (* the spec is live and gated: a collapse against a better history
+         regresses, and old-run entries without the metric contribute no
+         baseline *)
+      let degraded = { current with BH.metrics = [ ("store_warm_reduction_mean", 0.1) ] } in
+      let bad = BH.regressions (BH.diff ~history:[ current; current ] degraded) in
+      Alcotest.(check bool) "collapsed warm reduction regresses" true
+        (List.exists (fun (v : BH.verdict) -> v.BH.metric = "store_warm_reduction_mean") bad);
+      let v = BH.diff ~history:[ old_run ] degraded in
+      Alcotest.(check bool) "old runs give no baseline" true
+        (List.for_all
+           (fun (x : BH.verdict) ->
+             x.BH.metric <> "store_warm_reduction_mean" || x.BH.baseline = None)
+           v))
+
 let test_history_direction_lower_better () =
   (* resilience ladder_broken: lower is better, abs_slack 0.5 absorbs +-0 *)
   let hist = [ entry "resilience" [ ("ladder_broken", 1.0); ("seed_broken", 6.0) ] ] in
@@ -518,6 +619,10 @@ let () =
           Alcotest.test_case "append and load" `Quick test_history_append_load;
           Alcotest.test_case "bench extraction and regression" `Quick
             test_of_bench_file_and_regression;
+          Alcotest.test_case "zero baseline semantics" `Quick test_history_zero_baseline;
+          Alcotest.test_case "corrupt history surfaces" `Quick test_history_record_corrupt;
+          Alcotest.test_case "store warm metric absent-not-zero" `Quick
+            test_store_warm_metric_absent_not_zero;
           Alcotest.test_case "lower-is-better direction" `Quick
             test_history_direction_lower_better
         ] )

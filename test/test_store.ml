@@ -1,0 +1,316 @@
+(* Durable-store guarantees: a record stream appended to the write-ahead
+   log replays back into the in-memory tables bit-for-bit, effect receipts
+   included (QCheck property); a torn tail loads as the valid prefix and is
+   repaired before the next append; a corrupt snapshot degrades to a
+   log-only rebuild, never an error; compaction preserves content exactly
+   while emptying the logs; and the persisted state of a tuning search is
+   identical at any jobs count. `dune build @store` runs just this suite;
+   it is also attached to `dune runtest`. *)
+
+open Xpiler_machine
+open Xpiler_ir
+module Rng = Xpiler_util.Rng
+module Kgen = Test_support.Kgen
+module Pass = Xpiler_passes.Pass
+module Problem = Xpiler_smt.Problem
+module Memo = Xpiler_smt.Memo
+module Schedule_db = Xpiler_tuning.Schedule_db
+module Transposition = Xpiler_tuning.Transposition
+module Mcts = Xpiler_tuning.Mcts
+module Wal = Xpiler_store.Wal
+module Store = Xpiler_store.Store
+module Registry = Xpiler_ops.Registry
+module Opdef = Xpiler_ops.Opdef
+
+let root =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xpiler-store-test-%d" (Unix.getpid ()))
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat root (string_of_int !n)
+
+let ok_exn = function Ok v -> v | Error m -> Alcotest.fail m
+
+let clear_tables () =
+  Transposition.clear ();
+  Memo.clear ()
+
+let pid = Platform.bang.Platform.id
+
+(* ---- record generation ---------------------------------------------------
+
+   Small key spaces on purpose: colliding keys exercise the last-wins
+   replay/compaction semantics, not just plain accumulation. *)
+
+let gen_kernel rng = Kgen.kernel (Rng.create (100 + Rng.int rng 6))
+
+let gen_specs rng =
+  List.filteri
+    (fun i _ -> i <= Rng.int rng 3)
+    [ Pass.Loop_split { var = "i0"; factor = 2 + Rng.int rng 6 };
+      Pass.Loop_fuse { var = "i1" };
+      Pass.Loop_recovery;
+      Pass.Tensorize ]
+
+let gen_problem rng =
+  let var = Rng.choose rng [ "x"; "y"; "len" ] in
+  { Problem.vars = [ (var, Problem.Range { lo = 0; hi = 4 + Rng.int rng 8; stride = 1 }) ];
+    constraints = [ Expr.Var var ]
+  }
+
+let gen_payload rng =
+  match Rng.int rng 4 with
+  | 0 -> Memo.Outcome (Problem.Sat [ ("x", Rng.int rng 9) ])
+  | 1 -> Memo.Outcome Problem.Unsat
+  | 2 -> Memo.Outcome Problem.Timeout
+  | _ -> Memo.Model_list [ [ ("x", Rng.int rng 9) ]; [ ("x", 9 + Rng.int rng 9) ] ]
+
+let gen_record rng =
+  match Rng.int rng 3 with
+  | 0 ->
+    let kernel = gen_kernel rng in
+    Store.Schedule
+      { signature = Schedule_db.signature pid kernel;
+        entry =
+          { Schedule_db.specs = Pass.Loop_recovery :: gen_specs rng;
+            reward = float_of_int (1 + Rng.int rng 16) /. 4.0
+          }
+      }
+  | 1 ->
+    Store.Transposition
+      ( { Transposition.Key.platform = pid;
+          budget = 4 + Rng.int rng 3;
+          prune = Rng.bernoulli rng 0.5;
+          compose = Rng.bernoulli rng 0.5;
+          kernel = gen_kernel rng
+        },
+        { Transposition.reward = float_of_int (Rng.int rng 64) /. 8.0;
+          evaluated = Rng.int rng 50;
+          pruned = Rng.int rng 50
+        } )
+  | _ ->
+    Store.Solver_memo
+      ( { Memo.Key.mode =
+            (if Rng.bernoulli rng 0.5 then Memo.Solve else Memo.Models { limit = 1 + Rng.int rng 4 });
+          max_steps = 100 * (1 + Rng.int rng 3);
+          problem = gen_problem rng
+        },
+        { Memo.payload = gen_payload rng; stats = { Problem.steps = Rng.int rng 200; evals = Rng.int rng 500 } } )
+
+let gen_records rng n =
+  let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (gen_record rng :: acc) in
+  go n []
+
+(* the expected final table contents: last-wins over the stream, computed
+   independently of the store with the modules' own key equalities *)
+let upsert equal k v l = (k, v) :: List.filter (fun (k', _) -> not (equal k k')) l
+
+let expected records =
+  let sched, trans, memo =
+    List.fold_left
+      (fun (s, t, m) r ->
+        match r with
+        | Store.Schedule { signature; entry } -> (upsert Int.equal signature entry s, t, m)
+        | Store.Transposition (k, e) -> (s, upsert Transposition.Key.equal k e t, m)
+        | Store.Solver_memo (k, e) -> (s, t, upsert Memo.Key.equal k e m))
+      ([], [], []) records
+  in
+  (List.sort compare sched, List.sort compare trans, List.sort compare memo)
+
+let dump_tables db =
+  ( List.sort compare (Schedule_db.fold db (fun k e acc -> (k, e) :: acc) []),
+    List.sort compare (Transposition.fold (fun k e acc -> (k, e) :: acc) []),
+    List.sort compare (Memo.fold (fun k e acc -> (k, e) :: acc) []) )
+
+let load_fresh store =
+  clear_tables ();
+  let db = Schedule_db.create () in
+  let stats = Store.load ~db store in
+  (db, stats)
+
+(* ---- WAL round-trip property --------------------------------------------- *)
+
+let prop_roundtrip seed =
+  let rng = Rng.create seed in
+  let records = gen_records rng (1 + Rng.int rng 40) in
+  let store = ok_exn (Store.open_store ~shards:3 ~dir:(fresh_dir ()) ()) in
+  List.iter (Store.append store) records;
+  let exp = expected records in
+  (* replay reconstructs the tables bit-for-bit, receipts included *)
+  let db, stats = load_fresh store in
+  if stats.Store.torn_tails <> 0 || stats.Store.corrupt_snapshots <> 0 || stats.Store.dropped <> 0
+  then QCheck.Test.fail_report "clean store reported damage";
+  if Store.total stats.Store.loaded <> List.length records then
+    QCheck.Test.fail_report "replay count mismatch";
+  if dump_tables db <> exp then QCheck.Test.fail_report "replayed tables differ from the stream";
+  (* two loads of the same store fingerprint identically *)
+  let fp1 = Store.fingerprint ~db () in
+  let db2, _ = load_fresh store in
+  if Store.fingerprint ~db:db2 () <> fp1 then QCheck.Test.fail_report "reload changed fingerprint";
+  (* compaction folds the stream into a snapshot without changing content *)
+  let cs = ok_exn (Store.compact store) in
+  if cs.Store.records_in <> List.length records then
+    QCheck.Test.fail_report "compaction lost input records";
+  let db3, stats3 = load_fresh store in
+  if Store.total stats3.Store.loaded <> cs.Store.records_out then
+    QCheck.Test.fail_report "snapshot replay count differs from compaction output";
+  if dump_tables db3 <> exp then QCheck.Test.fail_report "compaction changed table contents";
+  if Store.fingerprint ~db:db3 () <> fp1 then
+    QCheck.Test.fail_report "compaction changed fingerprint";
+  let info = Store.scan store in
+  Store.total info.Store.wal_records = 0 && not info.Store.damaged
+
+let roundtrip_test =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25 ~name:"wal roundtrip reconstructs tables"
+       QCheck.(int_bound 1_000_000)
+       prop_roundtrip)
+
+(* ---- torn tails ----------------------------------------------------------- *)
+
+let flip_byte path pos =
+  let ic = open_in_bin path in
+  let bytes = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string bytes in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_torn_tail () =
+  let rng = Rng.create 42 in
+  let records = gen_records rng 8 in
+  let dir = fresh_dir () in
+  let store = ok_exn (Store.open_store ~shards:1 ~dir ()) in
+  List.iter (Store.append store) records;
+  Store.close store;
+  (* crash mid-append: cut into the last frame *)
+  let wal = Filename.concat dir "shard-000.wal" in
+  let size = (Unix.stat wal).Unix.st_size in
+  Wal.truncate wal (size - 3);
+  let db, stats = load_fresh store in
+  Alcotest.(check int) "one torn tail" 1 stats.Store.torn_tails;
+  Alcotest.(check int) "valid prefix replayed" 7 (Store.total stats.Store.loaded);
+  let prefix = List.filteri (fun i _ -> i < 7) records in
+  Alcotest.(check bool) "prefix contents exact" true (dump_tables db = expected prefix);
+  (* the next append repairs the tail before writing after it *)
+  let extra = gen_record rng in
+  Store.append store extra;
+  let db2, stats2 = load_fresh store in
+  Alcotest.(check int) "repaired" 0 stats2.Store.torn_tails;
+  Alcotest.(check int) "prefix plus the new record" 8 (Store.total stats2.Store.loaded);
+  Alcotest.(check bool) "repaired contents exact" true
+    (dump_tables db2 = expected (prefix @ [ extra ]))
+
+(* ---- snapshot corruption -------------------------------------------------- *)
+
+let test_corrupt_snapshot () =
+  let rng = Rng.create 7 in
+  let before = gen_records rng 6 in
+  let dir = fresh_dir () in
+  let store = ok_exn (Store.open_store ~shards:1 ~dir ()) in
+  List.iter (Store.append store) before;
+  let cs = ok_exn (Store.compact store) in
+  let after = gen_records rng 3 in
+  List.iter (Store.append store) after;
+  Store.close store;
+  let snap = Filename.concat dir "shard-000.snap" in
+  (* a flipped payload byte cuts the snapshot short at that frame; the
+     valid prefix and the whole log still replay *)
+  flip_byte snap ((Unix.stat snap).Unix.st_size - 1);
+  let _db, stats = load_fresh store in
+  Alcotest.(check int) "snapshot counted corrupt" 1 stats.Store.corrupt_snapshots;
+  Alcotest.(check int) "valid snapshot prefix plus the whole log"
+    (cs.Store.records_out - 1 + 3)
+    (Store.total stats.Store.loaded);
+  (* a smashed header drops the snapshot entirely: the store degrades to
+     exactly what the log holds *)
+  flip_byte snap 0;
+  let db2, stats2 = load_fresh store in
+  Alcotest.(check int) "header corruption counted" 1 stats2.Store.corrupt_snapshots;
+  Alcotest.(check int) "only the log replays" 3 (Store.total stats2.Store.loaded);
+  Alcotest.(check bool) "rebuilt from log exactly" true (dump_tables db2 = expected after)
+
+(* ---- write-through attachment --------------------------------------------- *)
+
+let test_attach_write_through () =
+  let dir = fresh_dir () in
+  let store = ok_exn (Store.open_store ~dir ()) in
+  let db = Schedule_db.create () in
+  clear_tables ();
+  Store.attach ~db store;
+  Alcotest.(check bool) "attached" true (Store.active () <> None);
+  let rng = Rng.create 11 in
+  let kernel = gen_kernel rng in
+  Schedule_db.record db pid kernel ~specs:[ Pass.Loop_recovery ] ~reward:2.0;
+  Transposition.store ~platform:pid ~budget:8 ~prune:true ~compose:true kernel
+    { Transposition.reward = 1.5; evaluated = 3; pruned = 1 };
+  Memo.store ~mode:Memo.Solve ~max_steps:100 (gen_problem rng)
+    { Memo.payload = Memo.Outcome Problem.Unsat; stats = { Problem.steps = 5; evals = 9 } };
+  Store.detach ();
+  let info = Store.scan store in
+  Alcotest.(check int) "schedule record persisted" 1 info.Store.wal_records.Store.schedule;
+  Alcotest.(check int) "transposition record persisted" 1 info.Store.wal_records.Store.transposition;
+  Alcotest.(check int) "memo record persisted" 1 info.Store.wal_records.Store.solver_memo;
+  (* detached: fresh learning no longer streams to the log *)
+  Transposition.store ~platform:pid ~budget:9 ~prune:true ~compose:true kernel
+    { Transposition.reward = 1.0; evaluated = 1; pruned = 0 };
+  Alcotest.(check int) "no append after detach" 3
+    (Store.total (Store.scan store).Store.wal_records);
+  (* ensure is idempotent: same dir, same attachment *)
+  let t1 = ok_exn (Store.ensure ~db ~dir ()) in
+  let t2 = ok_exn (Store.ensure ~db ~dir ()) in
+  Alcotest.(check bool) "ensure is idempotent" true (t1 == t2);
+  Store.detach ()
+
+(* ---- jobs determinism of the persisted state ------------------------------ *)
+
+let test_jobs_determinism () =
+  let op = Registry.find_exn "gemm" in
+  let shape = List.hd op.Opdef.shapes in
+  let kernel = op.Opdef.serial shape in
+  let buffer_sizes =
+    List.map (fun (b : Opdef.buffer_spec) -> (b.buf_name, b.size shape)) op.Opdef.buffers
+  in
+  let config =
+    { Mcts.default_config with
+      simulations = 4; max_depth = 4; intra_candidates = 6; root_parallel = 2 }
+  in
+  let persisted jobs =
+    let dir = fresh_dir () in
+    let store = ok_exn (Store.open_store ~dir ()) in
+    let db = Schedule_db.create () in
+    clear_tables ();
+    Store.attach ~db store;
+    ignore (Mcts.search ~config ~buffer_sizes ~jobs ~share:true ~db ~platform:Platform.bang kernel);
+    Store.detach ();
+    store
+  in
+  let s1 = persisted 1 and s4 = persisted 4 in
+  let db1, st1 = load_fresh s1 in
+  let d1 = dump_tables db1 in
+  let db4, st4 = load_fresh s4 in
+  let d4 = dump_tables db4 in
+  Alcotest.(check bool) "the search persisted something" true (Store.total st1.Store.loaded > 0);
+  Alcotest.(check int) "same record count at any jobs" (Store.total st1.Store.loaded)
+    (Store.total st4.Store.loaded);
+  Alcotest.(check bool) "identical persisted state at jobs=1 and jobs=4" true (d1 = d4);
+  ignore db4
+
+let () =
+  clear_tables ();
+  Alcotest.run "store"
+    [ ( "wal",
+        [ roundtrip_test;
+          Alcotest.test_case "torn tail is a valid prefix" `Quick test_torn_tail;
+          Alcotest.test_case "corrupt snapshot rebuilt from log" `Quick test_corrupt_snapshot
+        ] );
+      ( "wiring",
+        [ Alcotest.test_case "attach write-through" `Quick test_attach_write_through ] );
+      ( "determinism",
+        [ Alcotest.test_case "jobs=1 vs jobs=4 persisted state" `Quick test_jobs_determinism ] )
+    ]
